@@ -1,0 +1,73 @@
+// Ablation: asynchronous runtime vs fork-join on the *same* HSS-ULV DAG
+// with the *same* row-cyclic distribution (isolates the paper's claim 2:
+// the runtime model itself, not the format, causes STRUMPACK's slowdown).
+//
+// Also sweeps the DTD discovery constant to show where async loses its
+// edge — the paper's Sec. 5.3.3 observation that DTD's whole-graph
+// discovery is HATRIX's own scaling limit (and why PTG would be better).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "distsim/des.hpp"
+#include "format/hss_builder.hpp"
+#include "ulv/hss_ulv_tasks.hpp"
+
+using namespace hatrix;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const la::index_t leaf = cli.get_int("leaf", 256);
+  const la::index_t rank = cli.get_int("rank", 100);
+  auto nodes_list = cli.get_int_list("nodes", {2, 8, 32, 128});
+
+  std::printf("Ablation A: async vs fork-join, same DAG, same distribution\n");
+  TextTable ta({"NODES", "N", "async (s)", "fork-join (s)", "fj/async"});
+  distsim::CostModel cost(40.0);
+  for (auto nodes : nodes_list) {
+    const la::index_t n = 2048 * nodes;
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, leaf, rank);
+
+    auto run = [&](distsim::ExecModel model, double discovery) {
+      rt::TaskGraph graph;
+      auto dag = ulv::emit_hss_ulv_dag(skel, graph, false);
+      auto map = distsim::map_hss_row_cyclic(dag, graph, static_cast<int>(nodes));
+      distsim::SimConfig cfg;
+      cfg.procs = static_cast<int>(nodes);
+      cfg.cores_per_proc = 48;
+      cfg.model = model;
+      cfg.overhead.discovery_per_task = discovery;
+      return distsim::simulate(graph, map, cost, cfg);
+    };
+    auto async = run(distsim::ExecModel::AsyncDtd, 5e-5);
+    auto fj = run(distsim::ExecModel::ForkJoin, 0.0);
+    ta.add_row({std::to_string(nodes), std::to_string(n), fmt_fixed(async.makespan, 4),
+                fmt_fixed(fj.makespan, 4),
+                fmt_fixed(fj.makespan / async.makespan, 2)});
+  }
+  std::printf("%s\n", ta.to_string().c_str());
+
+  std::printf("Ablation B: DTD discovery cost sweep (128 nodes, N=262144)\n");
+  TextTable tb({"discovery per task (s)", "sim time (s)", "overhead share"});
+  {
+    const la::index_t n = 262144;
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, leaf, rank);
+    for (double d : {0.0, 1e-5, 5e-5, 2e-4, 1e-3}) {
+      rt::TaskGraph graph;
+      auto dag = ulv::emit_hss_ulv_dag(skel, graph, false);
+      auto map = distsim::map_hss_row_cyclic(dag, graph, 128);
+      distsim::SimConfig cfg;
+      cfg.procs = 128;
+      cfg.cores_per_proc = 48;
+      cfg.overhead.discovery_per_task = d;
+      auto res = distsim::simulate(graph, map, cost, cfg);
+      tb.add_row({fmt_sci(d), fmt_fixed(res.makespan, 4),
+                  fmt_fixed(res.overhead_per_worker(cfg) / res.makespan, 3)});
+    }
+  }
+  std::printf("%s\n", tb.to_string().c_str());
+  std::printf(
+      "A PTG-style interface (local-only task generation) corresponds to the\n"
+      "discovery=0 row — the paper's suggested future improvement.\n");
+  return 0;
+}

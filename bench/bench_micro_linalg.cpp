@@ -1,0 +1,96 @@
+// Micro-benchmarks of the dense kernels behind every factorization, plus
+// the cost-model calibration data (the sustained flop rate the simulator's
+// CostModel::calibrated() would pick on this host).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "lowrank/compress.hpp"
+
+namespace {
+
+using namespace hatrix;
+using la::Matrix;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::random_normal(rng, n, n);
+  Matrix b = Matrix::random_normal(rng, n, n);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::random_spd(rng, n);
+  for (auto _ : state) {
+    Matrix work = Matrix::from_view(a.view());
+    la::potrf(work.view());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      n * n * n / 3.0 * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Trsm(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(3);
+  Matrix a = Matrix::random_spd(rng, n);
+  la::potrf(a.view());
+  Matrix b = Matrix::random_normal(rng, n, n);
+  for (auto _ : state) {
+    Matrix x = Matrix::from_view(b.view());
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0,
+             a.view(), x.view());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(128)->Arg(256);
+
+void BM_PivotedQr(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(4);
+  Matrix a = Matrix::random_normal(rng, n, 4 * n);
+  for (auto _ : state) {
+    auto f = la::pivoted_qr(a.view(), n / 4, 0.0);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+}
+BENCHMARK(BM_PivotedQr)->Arg(128)->Arg(256);
+
+void BM_Svd(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(5);
+  Matrix a = Matrix::random_normal(rng, n, n);
+  for (auto _ : state) {
+    auto f = la::svd(a.view());
+    benchmark::DoNotOptimize(f.s.data());
+  }
+}
+BENCHMARK(BM_Svd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LrAddRound(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  Rng rng(6);
+  lr::LowRank a(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
+  lr::LowRank b(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
+  for (auto _ : state) {
+    auto s = lr::lr_add_round(1.0, a, -1.0, b, 32, 1e-10);
+    benchmark::DoNotOptimize(s.u.data());
+  }
+}
+BENCHMARK(BM_LrAddRound)->Arg(256)->Arg(1024);
+
+}  // namespace

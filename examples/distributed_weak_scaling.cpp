@@ -1,0 +1,40 @@
+// Driving the distributed-cluster model from user code: sweep node counts
+// for all three systems and print a weak-scaling table — the programmatic
+// version of bench_fig9, showing the public simulation API.
+//
+//   ./distributed_weak_scaling [--per-node 2048] [--nodes 2,8,32,128]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "hatrix/drivers.hpp"
+
+using namespace hatrix;
+using driver::SimExperiment;
+using driver::System;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  auto nodes = cli.get_int_list("nodes", {2, 8, 32, 128});
+  const la::index_t per_node = cli.get_int("per-node", 2048);
+
+  std::printf("Simulated weak scaling (Fugaku-like cluster model; see DESIGN.md)\n\n");
+  TextTable table({"NODES", "N", "system", "time (s)", "compute/worker",
+                   "overhead/worker", "messages", "MB"});
+  for (auto p : nodes) {
+    SimExperiment e;
+    e.n = per_node * p;
+    e.leaf_size = 256;
+    e.rank = 100;
+    e.nodes = static_cast<int>(p);
+    for (System s : {System::HatrixDTD, System::StrumpackSim}) {
+      auto out = run_simulated(s, e);
+      table.add_row({std::to_string(p), std::to_string(e.n), driver::system_name(s),
+                     fmt_fixed(out.factor_time, 4), fmt_sci(out.compute_per_worker),
+                     fmt_sci(out.overhead_per_worker), std::to_string(out.messages),
+                     fmt_fixed(static_cast<double>(out.comm_bytes) / 1e6, 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

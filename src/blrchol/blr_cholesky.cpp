@@ -1,0 +1,97 @@
+#include "blrchol/blr_cholesky.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "lowrank/compress.hpp"
+
+namespace hatrix::blrchol {
+
+namespace {
+
+using lr::LowRank;
+
+/// term = A_ik · A_jkᵀ as a low-rank block: U_ik (V_ikᵀ V_jk) U_jkᵀ.
+LowRank lr_product(const LowRank& aik, const LowRank& ajk) {
+  Matrix w = la::matmul(aik.v.view(), ajk.v.view(), la::Trans::Yes, la::Trans::No);
+  return LowRank(la::matmul(aik.u.view(), w.view()),
+                 Matrix::from_view(ajk.u.view()));
+}
+
+}  // namespace
+
+BLRCholesky BLRCholesky::factorize(const BLRMatrix& a, const BLRCholOptions& opts) {
+  BLRCholesky out;
+  out.l_ = a;  // copy; factorization is in place on the copy
+  BLRMatrix& l = out.l_;
+  const index_t p = l.num_tiles();
+
+  for (index_t k = 0; k < p; ++k) {
+    // POTRF on the diagonal tile.
+    la::potrf(l.diag(k).view());
+
+    // TRSM panel: A_ik <- A_ik L_kkᵀ^{-1}; for U Vᵀ this hits the V side.
+    for (index_t i = k + 1; i < p; ++i) {
+      auto& t = l.tile(i, k);
+      if (t.rank() == 0) continue;
+      // (U Vᵀ) L^{-T} = U (L^{-1} V)ᵀ
+      la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit,
+               1.0, l.diag(k).view(), t.v.view());
+    }
+
+    // Trailing updates.
+    for (index_t i = k + 1; i < p; ++i) {
+      const auto& aik = l.tile(i, k);
+      if (aik.rank() > 0) {
+        // SYRK: D_i -= U (VᵀV) Uᵀ, evaluated densely on the diagonal tile.
+        Matrix w = la::matmul(aik.v.view(), aik.v.view(), la::Trans::Yes,
+                              la::Trans::No);
+        Matrix uw = la::matmul(aik.u.view(), w.view());
+        la::gemm(-1.0, uw.view(), la::Trans::No, aik.u.view(), la::Trans::Yes, 1.0,
+                 l.diag(i).view());
+      }
+      for (index_t j = k + 1; j < i; ++j) {
+        const auto& ajk = l.tile(j, k);
+        if (aik.rank() == 0 || ajk.rank() == 0) continue;
+        LowRank term = lr_product(aik, ajk);
+        l.tile(i, j) = lr::lr_add_round(1.0, l.tile(i, j), -1.0, term,
+                                        opts.max_rank, opts.tol);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> BLRCholesky::solve(const std::vector<double>& b) const {
+  const index_t n = l_.size(), p = l_.num_tiles();
+  HATRIX_CHECK(static_cast<index_t>(b.size()) == n, "solve: rhs length mismatch");
+  std::vector<double> x = b;
+
+  // Forward: L y = b.
+  for (index_t i = 0; i < p; ++i) {
+    for (index_t j = 0; j < i; ++j) {
+      const auto& t = l_.tile(i, j);
+      if (t.rank() > 0)
+        t.matvec(-1.0, x.data() + l_.tile_begin(j), 1.0, x.data() + l_.tile_begin(i));
+    }
+    la::MatrixView xi{x.data() + l_.tile_begin(i), l_.tile_size(i), 1, n};
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0,
+             l_.diag(i).view(), xi);
+  }
+
+  // Backward: Lᵀ x = y.
+  for (index_t i = p - 1; i >= 0; --i) {
+    for (index_t j = i + 1; j < p; ++j) {
+      const auto& t = l_.tile(j, i);  // L_ji, used transposed
+      if (t.rank() > 0)
+        t.matvec_trans(-1.0, x.data() + l_.tile_begin(j), 1.0,
+                       x.data() + l_.tile_begin(i));
+    }
+    la::MatrixView xi{x.data() + l_.tile_begin(i), l_.tile_size(i), 1, n};
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::Yes, la::Diag::NonUnit, 1.0,
+             l_.diag(i).view(), xi);
+  }
+  return x;
+}
+
+}  // namespace hatrix::blrchol

@@ -1,0 +1,47 @@
+#include "blrchol/tile_cholesky.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hatrix::blrchol {
+
+index_t num_tiles(index_t n, index_t tile) {
+  HATRIX_CHECK(n > 0 && tile > 0, "bad tile parameters");
+  return (n + tile - 1) / tile;
+}
+
+void tile_cholesky(la::MatrixView a, index_t tile) {
+  HATRIX_CHECK(a.rows == a.cols, "tile_cholesky requires a square matrix");
+  const index_t n = a.rows;
+  const index_t p = num_tiles(n, tile);
+  auto tb = [&](index_t t) { return t * tile; };
+  auto ts = [&](index_t t) { return std::min(tile, n - t * tile); };
+
+  for (index_t k = 0; k < p; ++k) {
+    la::potrf(a.block(tb(k), tb(k), ts(k), ts(k)));
+    for (index_t i = k + 1; i < p; ++i) {
+      la::trsm(la::Side::Right, la::UpLo::Lower, la::Trans::Yes, la::Diag::NonUnit,
+               1.0, a.block(tb(k), tb(k), ts(k), ts(k)),
+               a.block(tb(i), tb(k), ts(i), ts(k)));
+    }
+    for (index_t i = k + 1; i < p; ++i) {
+      // SYRK on the diagonal tile: only the lower triangle matters; syrk
+      // writes both, which later steps overwrite consistently.
+      la::syrk(-1.0, a.block(tb(i), tb(k), ts(i), ts(k)), la::Trans::No, 1.0,
+               a.block(tb(i), tb(i), ts(i), ts(i)));
+      for (index_t j = k + 1; j < i; ++j) {
+        la::gemm(-1.0, a.block(tb(i), tb(k), ts(i), ts(k)), la::Trans::No,
+                 a.block(tb(j), tb(k), ts(j), ts(k)), la::Trans::Yes, 1.0,
+                 a.block(tb(i), tb(j), ts(i), ts(j)));
+      }
+    }
+  }
+
+  for (index_t j = 1; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = 0.0;
+}
+
+}  // namespace hatrix::blrchol

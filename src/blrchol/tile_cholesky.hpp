@@ -1,0 +1,24 @@
+#pragma once
+/// \file tile_cholesky.hpp
+/// \brief Dense tile (right-looking) Cholesky — the DPLASMA/SLATE baseline.
+///
+/// The classic POTRF/TRSM/SYRK/GEMM tile algorithm whose DAG the paper uses
+/// to introduce runtime systems (Fig. 6). O(N^3) compute, O(N^3)
+/// communication volume when distributed (Table 1, rows 1-2).
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::blrchol {
+
+using la::index_t;
+using la::Matrix;
+
+/// In-place lower tile Cholesky of a dense SPD matrix with square tiles of
+/// size `tile` (last tile may be smaller). The strict upper triangle is
+/// zeroed on output, matching la::potrf. Throws if not SPD.
+void tile_cholesky(la::MatrixView a, index_t tile);
+
+/// Tile counts for a given matrix/tile size (helper for DAG builders).
+index_t num_tiles(index_t n, index_t tile);
+
+}  // namespace hatrix::blrchol

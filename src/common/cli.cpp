@@ -1,0 +1,58 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hatrix {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    HATRIX_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace hatrix

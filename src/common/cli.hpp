@@ -1,0 +1,35 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line flag parser shared by benches and examples.
+///
+/// Supports `--name value` and `--name=value` forms. Unknown flags raise an
+/// error so typos in experiment scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hatrix {
+
+/// Parses `--key value` / `--key=value` style argument lists.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if the flag was given on the command line.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+
+  /// Comma-separated list of integers, e.g. `--nodes 2,8,32,128`.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hatrix

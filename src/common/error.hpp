@@ -1,0 +1,32 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling used across the library: checked preconditions and a
+/// library-specific exception type.
+
+#include <stdexcept>
+#include <string>
+
+namespace hatrix {
+
+/// Exception thrown for all recoverable library errors (bad arguments,
+/// numerically impossible requests such as Cholesky of an indefinite matrix).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": check failed (" + cond + ") " + msg);
+}
+}  // namespace detail
+
+}  // namespace hatrix
+
+/// Precondition check that stays on in release builds; throws hatrix::Error.
+#define HATRIX_CHECK(cond, msg)                                    \
+  do {                                                             \
+    if (!(cond)) ::hatrix::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,54 @@
+#include "common/flops.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace hatrix::flops {
+namespace {
+
+// Per-thread counters avoid cache-line ping-pong on the hot path; `total()`
+// walks the registry under a lock (cold path, benches only).
+struct Counter {
+  std::atomic<std::uint64_t> value{0};
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Counter*>& registry() {
+  static std::vector<Counter*> r;
+  return r;
+}
+
+Counter& local_counter() {
+  thread_local Counter* c = [] {
+    auto* counter = new Counter();  // leaked deliberately: threads may outlive us
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(counter);
+    return counter;
+  }();
+  return *c;
+}
+
+}  // namespace
+
+void add(std::uint64_t n) noexcept {
+  local_counter().value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t total() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::uint64_t sum = 0;
+  for (const Counter* c : registry()) sum += c->value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Counter* c : registry()) c->value.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hatrix::flops

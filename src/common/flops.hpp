@@ -1,0 +1,34 @@
+#pragma once
+/// \file flops.hpp
+/// \brief Global floating-point-operation accounting.
+///
+/// Every linalg kernel reports the classical flop count of the operation it
+/// performed. The counters are the measurement device behind the empirical
+/// complexity table (Table 1 of the paper): benches reset the counter, run a
+/// factorization, and read back the total.
+
+#include <cstdint>
+
+namespace hatrix::flops {
+
+/// Add `n` flops to the calling thread's counter.
+void add(std::uint64_t n) noexcept;
+
+/// Sum of all threads' counters since the last reset.
+std::uint64_t total() noexcept;
+
+/// Reset all threads' counters to zero.
+void reset() noexcept;
+
+/// RAII scope that reports the flops executed between construction and
+/// `count()`; nested scopes are fine because it reads the global counter.
+class Scope {
+ public:
+  Scope() : start_(total()) {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return total() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace hatrix::flops

@@ -1,0 +1,39 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned text-table printer used by the bench harness to emit the
+/// rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace hatrix {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Also exports CSV so bench output can be re-plotted.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with space-padded, pipe-separated columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as comma-separated values (header first).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with %.3e style (benches report errors/times this way).
+std::string fmt_sci(double v);
+
+/// Format a double with fixed decimals.
+std::string fmt_fixed(double v, int decimals = 3);
+
+}  // namespace hatrix

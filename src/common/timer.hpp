@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Monotonic wall-clock timer used by benches and the runtime tracer.
+
+#include <chrono>
+
+namespace hatrix {
+
+/// Simple monotonic stopwatch. Constructed running; `seconds()` reports the
+/// elapsed time since construction or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hatrix

@@ -1,0 +1,81 @@
+#include "distsim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hatrix::distsim {
+
+namespace {
+
+double dim(const rt::Task& t, std::size_t i) {
+  return i < t.dims.size() ? static_cast<double>(t.dims[i]) : 0.0;
+}
+
+}  // namespace
+
+CostModel::CostModel(double gflops_per_core) : gflops_(gflops_per_core) {
+  HATRIX_CHECK(gflops_per_core > 0.0, "flop rate must be positive");
+}
+
+CostModel CostModel::calibrated() {
+  // Time a representative kernel mix and take the harmonic-mean rate.
+  Rng rng(7);
+  la::Matrix a = la::Matrix::random_normal(rng, 256, 256);
+  la::Matrix b = la::Matrix::random_normal(rng, 256, 256);
+  la::Matrix c(256, 256);
+  la::Matrix spd = la::Matrix::random_spd(rng, 256);
+
+  flops::reset();
+  WallTimer timer;
+  la::gemm(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0, c.view());
+  la::Matrix l = la::Matrix::from_view(spd.view());
+  la::potrf(l.view());
+  const double elapsed = timer.seconds();
+  const double rate = static_cast<double>(flops::total()) / elapsed / 1e9;
+  return CostModel(std::max(0.1, rate));
+}
+
+double CostModel::task_flops(const rt::Task& t) {
+  const std::string& k = t.kind;
+  const double d0 = dim(t, 0), d1 = dim(t, 1), d2 = dim(t, 2);
+  if (k == "potrf") return d0 * d0 * d0 / 3.0;
+  if (k == "trsm") return d0 * d1 * d1;          // (b_i x b_k) vs b_k triangle
+  if (k == "syrk") return d0 * d0 * d1;
+  if (k == "gemm") return 2.0 * d0 * d1 * d2;
+  if (k == "diag_product") {
+    // Complement construction (~2 m k^2) + the rotated products (~4 m^3).
+    return 4.0 * d0 * d0 * d0 + 2.0 * d0 * d1 * d1;
+  }
+  if (k == "partial_factor") {
+    const double r = d0 - d1;  // redundant dimension m - k
+    return r * r * r / 3.0 + d1 * r * r + d1 * d1 * r;
+  }
+  if (k == "merge") {
+    // Memory-bound assembly of a (k0+k1)^2 block; count entries as flops.
+    const double m = d0 + d1;
+    return m * m;
+  }
+  if (k == "trsm_lr") return d0 * d0 * d1;       // b^2 r triangular solve on V
+  if (k == "syrk_lr") return 2.0 * d0 * d1 * d1 + 2.0 * d0 * d0 * d1;
+  if (k == "gemm_lr") {
+    // Product core + rounded-addition recompression (QR of stacked factors).
+    const double rsum = d1 + d2;
+    return 2.0 * d0 * d1 * d2 + 6.0 * d0 * rsum * rsum;
+  }
+  if (k == "fwd_solve" || k == "bwd_solve") return 2.0 * d0 * d0;  // gemv-bound
+  if (k == "potrs") return 2.0 * d0 * d0;
+  if (k == "gather" || k == "scatter") return d0 + d1;  // memory copy
+  return 1e3;  // unknown task kinds: negligible fixed cost
+}
+
+double CostModel::seconds(const rt::Task& t) const {
+  return task_flops(t) / (gflops_ * 1e9);
+}
+
+}  // namespace hatrix::distsim

@@ -1,0 +1,42 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief Per-task compute-cost model for the discrete-event simulator.
+///
+/// Maps a task's (kind, dims) to seconds via classical flop counts divided
+/// by a sustained flop rate. The rate can be fixed (deterministic tests,
+/// Fugaku-like what-if runs) or calibrated by timing this machine's own
+/// kernels (so simulated magnitudes track the real implementation that
+/// produced the DAG).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace hatrix::distsim {
+
+class CostModel {
+ public:
+  /// Fixed sustained rate in GFLOP/s per core.
+  explicit CostModel(double gflops_per_core = 2.0);
+
+  /// Measure this machine: times a mid-size gemm and potrf and uses the
+  /// achieved rate. Deterministic models are preferable for tests; this is
+  /// for benches that want magnitudes matching the host.
+  static CostModel calibrated();
+
+  /// Classical flop count of a task (by kind/dims). Unknown kinds get a
+  /// small fixed cost.
+  [[nodiscard]] static double task_flops(const rt::Task& t);
+
+  /// Seconds one core needs for the task.
+  [[nodiscard]] double seconds(const rt::Task& t) const;
+
+  [[nodiscard]] double gflops_per_core() const { return gflops_; }
+
+ private:
+  double gflops_;
+};
+
+}  // namespace hatrix::distsim

@@ -1,0 +1,215 @@
+#include "distsim/des.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hatrix::distsim {
+
+namespace {
+
+/// Reconstruct the producing task of every read access (the TaskGraph keeps
+/// only the collapsed edge list): walk tasks in insertion order tracking the
+/// last writer per data block, exactly as the DTD inference did.
+struct CommEdge {
+  rt::TaskId from;
+  rt::TaskId to;
+  std::int64_t bytes;
+};
+
+std::vector<CommEdge> data_flow_edges(const rt::TaskGraph& graph) {
+  std::vector<rt::TaskId> last_writer(graph.data().size(), -1);
+  std::vector<CommEdge> edges;
+  for (const auto& t : graph.tasks()) {
+    // Aggregate per (producer -> this task) over all read blocks.
+    std::map<rt::TaskId, std::int64_t> incoming;
+    for (const auto& [d, mode] : t.accesses) {
+      const rt::TaskId w = last_writer[static_cast<std::size_t>(d)];
+      if (w >= 0 && w != t.id) incoming[w] += graph.data(d).bytes;
+      if (mode == rt::Access::ReadWrite) last_writer[static_cast<std::size_t>(d)] = t.id;
+    }
+    for (const auto& [w, bytes] : incoming) edges.push_back({w, t.id, bytes});
+  }
+  return edges;
+}
+
+/// Event-queue entry: a task whose dependencies are all satisfied, keyed by
+/// the time they were satisfied (earlier first; priority breaks ties).
+struct ReadyEntry {
+  double time;
+  int priority;
+  rt::TaskId task;
+  bool operator>(const ReadyEntry& o) const {
+    if (time != o.time) return time > o.time;
+    if (priority != o.priority) return priority < o.priority;
+    return task > o.task;
+  }
+};
+
+}  // namespace
+
+double SimResult::compute_per_worker(const SimConfig& cfg) const {
+  double total = 0.0;
+  for (double c : compute) total += c;
+  const double workers = static_cast<double>(cfg.procs) * cfg.cores_per_proc;
+  return workers > 0 ? total / workers : 0.0;
+}
+
+double SimResult::overhead_per_worker(const SimConfig& cfg) const {
+  // Everything a worker spent not inside a task body, as in the paper's
+  // PaRSEC instrumentation: scheduling, waiting on dependencies and
+  // messages, graph discovery.
+  return makespan - compute_per_worker(cfg);
+}
+
+double SimResult::mpi_per_process(const SimConfig& cfg) const {
+  double total = 0.0;
+  for (double m : msg_time) total += m;
+  return cfg.procs > 0 ? total / cfg.procs : 0.0;
+}
+
+CommStats count_messages(const rt::TaskGraph& graph, const Mapping& mapping) {
+  CommStats out;
+  for (const auto& e : data_flow_edges(graph)) {
+    const int ps = mapping.task_owner[static_cast<std::size_t>(e.from)];
+    const int pd = mapping.task_owner[static_cast<std::size_t>(e.to)];
+    if (ps == pd) continue;
+    ++out.messages;
+    out.bytes += e.bytes;
+  }
+  return out;
+}
+
+SimResult simulate(const rt::TaskGraph& graph, const Mapping& mapping,
+                   const CostModel& cost, const SimConfig& cfg) {
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  HATRIX_CHECK(mapping.task_owner.size() == n, "mapping/graph size mismatch");
+  HATRIX_CHECK(cfg.procs >= 1 && cfg.cores_per_proc >= 1, "bad sim config");
+
+  SimResult res;
+  res.compute.assign(static_cast<std::size_t>(cfg.procs), 0.0);
+  res.msg_time.assign(static_cast<std::size_t>(cfg.procs), 0.0);
+  if (n == 0) return res;
+
+  // Incoming data-flow messages per task.
+  std::vector<std::vector<CommEdge>> incoming(n);
+  for (const auto& e : data_flow_edges(graph))
+    incoming[static_cast<std::size_t>(e.to)].push_back(e);
+
+  // Per-process state.
+  std::vector<std::vector<double>> core_free(
+      static_cast<std::size_t>(cfg.procs),
+      std::vector<double>(static_cast<std::size_t>(cfg.cores_per_proc), 0.0));
+  std::vector<double> nic_send(static_cast<std::size_t>(cfg.procs), 0.0);
+  std::vector<double> nic_recv(static_cast<std::size_t>(cfg.procs), 0.0);
+  std::vector<double> launch_clock(static_cast<std::size_t>(cfg.procs), 0.0);
+
+  // Runtime startup: under DTD every process discovers the *entire* task
+  // graph before any local task can launch (Sec. 5.3.3); under PTG each
+  // process only generates its own tasks. Fork-join runtimes pay neither.
+  if (cfg.model == ExecModel::AsyncDtd) {
+    const double discovery =
+        cfg.overhead.discovery_per_task * static_cast<double>(n);
+    std::fill(launch_clock.begin(), launch_clock.end(), discovery);
+  } else if (cfg.model == ExecModel::AsyncPtg) {
+    std::vector<std::int64_t> local(static_cast<std::size_t>(cfg.procs), 0);
+    for (std::size_t t = 0; t < n; ++t) ++local[static_cast<std::size_t>(mapping.task_owner[t])];
+    for (int p = 0; p < cfg.procs; ++p)
+      launch_clock[static_cast<std::size_t>(p)] =
+          cfg.overhead.discovery_per_task * static_cast<double>(local[static_cast<std::size_t>(p)]);
+  }
+
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> remaining(graph.in_degree());
+  std::vector<double> dep_ready(n, 0.0);
+
+  // Group tasks by phase for the fork-join barriers. AsyncDtd treats the
+  // whole graph as one phase.
+  std::map<int, std::vector<rt::TaskId>> phases;
+  if (cfg.model == ExecModel::ForkJoin) {
+    for (std::size_t t = 0; t < n; ++t)
+      phases[graph.tasks()[t].phase].push_back(static_cast<rt::TaskId>(t));
+  } else {
+    auto& all = phases[0];
+    all.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) all.push_back(static_cast<rt::TaskId>(t));
+  }
+
+  double phase_floor = 0.0;
+  bool first_phase = true;
+  for (const auto& [phase_tag, ids] : phases) {
+    (void)phase_tag;
+    if (cfg.model == ExecModel::ForkJoin && !first_phase) {
+      // Barrier + ScaLAPACK-style redistribution into the next level's
+      // layout. Every process sits in this collective: it is MPI time.
+      const double coll = cfg.network.barrier_time(cfg.procs) +
+                          cfg.overhead.forkjoin_redist_alpha * cfg.procs;
+      phase_floor = res.makespan + coll;
+      for (auto& m : res.msg_time) m += coll;
+    }
+    first_phase = false;
+
+    // Event loop over this phase (the whole graph for AsyncDtd): pop the
+    // earliest dependency-satisfied task, place it on its process.
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready;
+    for (rt::TaskId id : ids)
+      if (remaining[static_cast<std::size_t>(id)] == 0)
+        ready.push({std::max(dep_ready[static_cast<std::size_t>(id)], phase_floor),
+                    graph.tasks()[static_cast<std::size_t>(id)].priority, id});
+
+    while (!ready.empty()) {
+      const auto entry = ready.top();
+      ready.pop();
+      const auto t = static_cast<std::size_t>(entry.task);
+      const auto& task = graph.tasks()[t];
+      const int p = mapping.task_owner[t];
+
+      double r = std::max(entry.time, phase_floor);
+
+      // Cross-process inputs: serialize on sender and receiver NICs.
+      for (const auto& e : incoming[t]) {
+        const int ps = mapping.task_owner[static_cast<std::size_t>(e.from)];
+        if (ps == p) continue;
+        const double t0 = std::max({finish[static_cast<std::size_t>(e.from)],
+                                    nic_send[static_cast<std::size_t>(ps)],
+                                    nic_recv[static_cast<std::size_t>(p)]});
+        const double dt = cfg.network.transfer_time(e.bytes);
+        nic_send[static_cast<std::size_t>(ps)] = t0 + dt;
+        nic_recv[static_cast<std::size_t>(p)] = t0 + dt;
+        res.msg_time[static_cast<std::size_t>(p)] += dt;
+        ++res.messages;
+        res.bytes += e.bytes;
+        r = std::max(r, t0 + dt);
+      }
+
+      // The process's scheduler launches one task at a time.
+      const double launch = std::max(r, launch_clock[static_cast<std::size_t>(p)]);
+      launch_clock[static_cast<std::size_t>(p)] =
+          launch + cfg.overhead.schedule_per_task;
+
+      auto& cores = core_free[static_cast<std::size_t>(p)];
+      auto it = std::min_element(cores.begin(), cores.end());
+      const double start = std::max(launch, *it);
+      const double dur = cost.seconds(task);
+      *it = start + dur;
+      finish[t] = start + dur;
+      res.compute[static_cast<std::size_t>(p)] += dur;
+      res.makespan = std::max(res.makespan, finish[t]);
+
+      for (rt::TaskId s : graph.successors()[t]) {
+        auto su = static_cast<std::size_t>(s);
+        dep_ready[su] = std::max(dep_ready[su], finish[t]);
+        if (--remaining[su] == 0 &&
+            (cfg.model != ExecModel::ForkJoin ||
+             graph.tasks()[su].phase == phase_tag))
+          ready.push({std::max(dep_ready[su], phase_floor),
+                      graph.tasks()[su].priority, s});
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace hatrix::distsim

@@ -1,0 +1,94 @@
+#pragma once
+/// \file des.hpp
+/// \brief Discrete-event simulator for distributed task-graph execution.
+///
+/// This is the repo's stand-in for the 128-node Fugaku runs of the paper's
+/// evaluation: it replays a *real* task DAG (emitted by the same code that
+/// performs the factorization) on a modeled cluster — P processes with C
+/// cores each, an α-β interconnect with NIC serialization, a DTD runtime
+/// overhead model (every process discovers the whole graph, Sec. 5.3.3),
+/// and an optional fork-join mode with a barrier and collective exchange
+/// per phase (the STRUMPACK execution model, Sec. 5.3.2).
+///
+/// Outputs are the observables of Figs. 9-12: makespan, per-worker compute
+/// time, per-worker runtime overhead, per-worker MPI time, and message
+/// counts/volumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "distsim/cost_model.hpp"
+#include "distsim/mapping.hpp"
+#include "distsim/network_model.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace hatrix::distsim {
+
+/// Execution-model selector.
+enum class ExecModel {
+  AsyncDtd,  ///< asynchronous runtime (PaRSEC DTD): no barriers, but every
+             ///< process discovers the whole task graph
+  AsyncPtg,  ///< asynchronous runtime, PaRSEC PTG-style: only local tasks
+             ///< are generated per process (the paper's suggested fix for
+             ///< the DTD discovery overhead, Sec. 4.2 / conclusion)
+  ForkJoin,  ///< bulk-synchronous: barrier + collective per phase
+};
+
+/// Runtime-overhead constants.
+struct OverheadModel {
+  /// DTD graph discovery: every process walks the *entire* task graph at
+  /// startup (PaRSEC DTD submits all tasks on every rank, Sec. 4.2). This
+  /// is the overhead the paper identifies as HATRIX-DTD's scaling limit
+  /// (Sec. 5.3.3).
+  double discovery_per_task = 7.0e-5;
+  /// Per-local-task scheduling cost (queue ops, dependency bookkeeping);
+  /// serializes task launches within a process.
+  double schedule_per_task = 2.0e-6;
+  /// Fork-join only: ScaLAPACK-style data redistribution between phases
+  /// (per-phase cost = this * procs). Latency-bound pairwise exchanges when
+  /// re-laying out blocks for the next level's contexts; calibrated so the
+  /// per-process MPI time tracks the paper's Fig. 10b.
+  double forkjoin_redist_alpha = 5.0e-4;
+};
+
+struct SimConfig {
+  int procs = 1;
+  int cores_per_proc = 48;  ///< Fugaku A64FX: 48 compute cores
+  ExecModel model = ExecModel::AsyncDtd;
+  NetworkModel network;
+  OverheadModel overhead;
+};
+
+/// Per-run observables.
+struct SimResult {
+  double makespan = 0.0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::vector<double> compute;   ///< per-process busy seconds
+  std::vector<double> msg_time;  ///< per-process time inside transfers
+
+  /// Paper Fig. 10 observables. Compute and overhead are averaged per
+  /// worker (process x core), matching the PaRSEC instrumentation; MPI time
+  /// is averaged per process, matching mpiP's per-rank accounting (every
+  /// rank sits inside the collective).
+  [[nodiscard]] double compute_per_worker(const SimConfig& cfg) const;
+  [[nodiscard]] double overhead_per_worker(const SimConfig& cfg) const;
+  [[nodiscard]] double mpi_per_process(const SimConfig& cfg) const;
+};
+
+/// Simulate the DAG under the mapping and configuration. The task costs
+/// come from `cost`; communication is derived from the graph's data-flow
+/// (producer on process p, consumer on q != p => one message of the block's
+/// bytes).
+SimResult simulate(const rt::TaskGraph& graph, const Mapping& mapping,
+                   const CostModel& cost, const SimConfig& cfg);
+
+/// Data-flow messages of a mapped graph without timing them (used by the
+/// communication-complexity measurements of Table 1).
+struct CommStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+CommStats count_messages(const rt::TaskGraph& graph, const Mapping& mapping);
+
+}  // namespace hatrix::distsim

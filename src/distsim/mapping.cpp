@@ -1,0 +1,126 @@
+#include "distsim/mapping.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hatrix::distsim {
+
+namespace {
+
+/// Owner-computes: a task runs on the process of its first ReadWrite block.
+void assign_tasks_by_output(const rt::TaskGraph& graph, Mapping& m) {
+  m.task_owner.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
+  for (const auto& t : graph.tasks()) {
+    int owner = 0;
+    for (const auto& [d, mode] : t.accesses) {
+      if (mode == rt::Access::ReadWrite) {
+        owner = graph.data(d).owner;
+        break;
+      }
+    }
+    m.task_owner[static_cast<std::size_t>(t.id)] = owner;
+  }
+}
+
+/// Process grid as square as possible: pr x pc = P with pr <= pc.
+std::pair<int, int> process_grid(int p) {
+  int pr = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (pr > 1 && p % pr != 0) --pr;
+  return {pr, p / pr};
+}
+
+}  // namespace
+
+Mapping map_hss_row_cyclic(const ulv::HSSULVDag& dag, rt::TaskGraph& graph,
+                           int num_procs) {
+  HATRIX_CHECK(num_procs >= 1, "need at least one process");
+  Mapping m;
+  m.num_procs = num_procs;
+  const auto& a = *dag.state->a;
+  const int L = a.max_level();
+
+  for (int l = 0; l <= L; ++l) {
+    for (la::index_t i = 0; i < a.num_nodes(l); ++i) {
+      const int owner = static_cast<int>(i % num_procs);
+      graph.set_owner(dag.diag_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], owner);
+      graph.set_owner(dag.basis_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], owner);
+      graph.set_owner(dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], owner);
+      graph.set_owner(dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], owner);
+    }
+    if (l >= 1) {
+      // The coupling block is produced alongside the odd sibling's basis.
+      for (la::index_t t = 0; t < a.num_pairs(l); ++t)
+        graph.set_owner(
+            dag.coupling_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(t)],
+            static_cast<int>((2 * t + 1) % num_procs));
+    }
+  }
+  graph.set_owner(dag.root_data, 0);
+  assign_tasks_by_output(graph, m);
+  return m;
+}
+
+Mapping map_hss_block_cyclic(const ulv::HSSULVDag& dag, rt::TaskGraph& graph,
+                             int num_procs) {
+  HATRIX_CHECK(num_procs >= 1, "need at least one process");
+  Mapping m;
+  m.num_procs = num_procs;
+  const auto& a = *dag.state->a;
+  const int L = a.max_level();
+
+  int counter = 0;
+  auto next = [&] { return counter++ % num_procs; };
+  for (int l = L; l >= 0; --l) {  // ScaLAPACK-style: deal blocks round-robin
+    for (la::index_t i = 0; i < a.num_nodes(l); ++i) {
+      graph.set_owner(dag.diag_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], next());
+      graph.set_owner(dag.basis_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], next());
+      graph.set_owner(dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], next());
+      graph.set_owner(dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)], next());
+    }
+    if (l >= 1)
+      for (la::index_t t = 0; t < a.num_pairs(l); ++t)
+        graph.set_owner(
+            dag.coupling_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(t)],
+            next());
+  }
+  graph.set_owner(dag.root_data, 0);
+  assign_tasks_by_output(graph, m);
+  return m;
+}
+
+Mapping map_blr_block_cyclic(const blrchol::BLRCholDag& dag, rt::TaskGraph& graph,
+                             int num_procs) {
+  HATRIX_CHECK(num_procs >= 1, "need at least one process");
+  Mapping m;
+  m.num_procs = num_procs;
+  auto [pr, pc] = process_grid(num_procs);
+  const auto p = static_cast<la::index_t>(dag.diag_data.size());
+  for (la::index_t i = 0; i < p; ++i) {
+    graph.set_owner(dag.diag_data[static_cast<std::size_t>(i)],
+                    static_cast<int>((i % pr) * pc + (i % pc)));
+    for (la::index_t j = 0; j < i; ++j)
+      graph.set_owner(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+          static_cast<int>((i % pr) * pc + (j % pc)));
+  }
+  assign_tasks_by_output(graph, m);
+  return m;
+}
+
+Mapping map_dense_block_cyclic(const blrchol::DenseCholDag& dag,
+                               rt::TaskGraph& graph, int num_procs) {
+  HATRIX_CHECK(num_procs >= 1, "need at least one process");
+  Mapping m;
+  m.num_procs = num_procs;
+  auto [pr, pc] = process_grid(num_procs);
+  for (la::index_t i = 0; i < dag.tiles; ++i)
+    for (la::index_t j = 0; j <= i; ++j)
+      graph.set_owner(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+          static_cast<int>((i % pr) * pc + (j % pc)));
+  assign_tasks_by_output(graph, m);
+  return m;
+}
+
+}  // namespace hatrix::distsim

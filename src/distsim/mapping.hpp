@@ -1,0 +1,45 @@
+#pragma once
+/// \file mapping.hpp
+/// \brief Process distribution policies (Sec. 4.3, Fig. 7).
+///
+/// A mapping assigns every task (and every data block) to a process.
+/// HATRIX-DTD uses a row-cyclic distribution per HSS level; STRUMPACK-style
+/// execution distributes blocks block-cyclically (ScaLAPACK); LORAPO uses a
+/// 2D block-cyclic tile distribution.
+
+#include <vector>
+
+#include "blrchol/blr_cholesky_tasks.hpp"
+#include "runtime/task_graph.hpp"
+#include "ulv/hss_ulv_tasks.hpp"
+
+namespace hatrix::distsim {
+
+/// Task-to-process assignment; data owners are written into the graph.
+struct Mapping {
+  int num_procs = 1;
+  std::vector<int> task_owner;  ///< indexed by TaskId
+};
+
+/// HATRIX-DTD's distribution (Fig. 7): node i at every level lives on
+/// process (i mod P); the merge of two children lands on the parent's
+/// process. Tasks follow their output block (owner computes).
+Mapping map_hss_row_cyclic(const ulv::HSSULVDag& dag, rt::TaskGraph& graph,
+                           int num_procs);
+
+/// STRUMPACK-style block-cyclic assignment: blocks are dealt round-robin in
+/// registration order regardless of tree locality, which is what generates
+/// the extra communication the paper discusses (Sec. 4.3).
+Mapping map_hss_block_cyclic(const ulv::HSSULVDag& dag, rt::TaskGraph& graph,
+                             int num_procs);
+
+/// LORAPO's 2D block-cyclic tile distribution over a pr x pc process grid
+/// (pr*pc == num_procs, chosen as square as possible).
+Mapping map_blr_block_cyclic(const blrchol::BLRCholDag& dag, rt::TaskGraph& graph,
+                             int num_procs);
+
+/// Dense tile Cholesky (DPLASMA) on a 2D block-cyclic grid.
+Mapping map_dense_block_cyclic(const blrchol::DenseCholDag& dag,
+                               rt::TaskGraph& graph, int num_procs);
+
+}  // namespace hatrix::distsim

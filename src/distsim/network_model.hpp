@@ -1,0 +1,32 @@
+#pragma once
+/// \file network_model.hpp
+/// \brief α-β interconnect model with per-NIC serialization.
+///
+/// Stand-in for the Fugaku TofuD interconnect in the discrete-event
+/// simulation: a point-to-point message of `bytes` costs
+/// latency + bytes/bandwidth, and each process can drive only one send and
+/// one receive at a time (NIC serialization), which the simulator enforces.
+
+#include <cstdint>
+
+namespace hatrix::distsim {
+
+struct NetworkModel {
+  double latency = 1.0e-6;     ///< α: per-message latency (s)
+  double bandwidth = 6.8e9;    ///< β: bytes per second (TofuD-like injection)
+  double barrier_alpha = 5e-6; ///< per-log2(P) step of a barrier/collective
+
+  /// Point-to-point transfer time for a message of `bytes`.
+  [[nodiscard]] double transfer_time(std::int64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+
+  /// Barrier (tree) latency across `procs` processes.
+  [[nodiscard]] double barrier_time(int procs) const {
+    int steps = 0;
+    for (int p = 1; p < procs; p *= 2) ++steps;
+    return barrier_alpha * steps;
+  }
+};
+
+}  // namespace hatrix::distsim

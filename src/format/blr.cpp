@@ -1,0 +1,105 @@
+#include "format/blr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace hatrix::fmt {
+
+BLRMatrix::BLRMatrix(index_t n, index_t num_tiles) : n_(n), nt_(num_tiles) {
+  HATRIX_CHECK(n > 0 && num_tiles > 0 && num_tiles <= n, "bad BLR dimensions");
+  diags_.resize(static_cast<std::size_t>(num_tiles));
+  tiles_.resize(static_cast<std::size_t>(num_tiles * (num_tiles - 1) / 2));
+}
+
+Matrix& BLRMatrix::diag(index_t i) {
+  HATRIX_CHECK(i >= 0 && i < nt_, "diag tile out of range");
+  return diags_[static_cast<std::size_t>(i)];
+}
+
+const Matrix& BLRMatrix::diag(index_t i) const {
+  return const_cast<BLRMatrix*>(this)->diag(i);
+}
+
+lr::LowRank& BLRMatrix::tile(index_t i, index_t j) {
+  HATRIX_CHECK(i > j && i < nt_ && j >= 0, "tile wants i > j");
+  return tiles_[static_cast<std::size_t>(i * (i - 1) / 2 + j)];
+}
+
+const lr::LowRank& BLRMatrix::tile(index_t i, index_t j) const {
+  return const_cast<BLRMatrix*>(this)->tile(i, j);
+}
+
+void BLRMatrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  HATRIX_CHECK(static_cast<index_t>(x.size()) == n_, "matvec dimension mismatch");
+  y.assign(static_cast<std::size_t>(n_), 0.0);
+  for (index_t i = 0; i < nt_; ++i) {
+    la::gemv(1.0, diags_[static_cast<std::size_t>(i)].view(), la::Trans::No,
+             x.data() + tile_begin(i), 1.0, y.data() + tile_begin(i));
+    for (index_t j = 0; j < i; ++j) {
+      const auto& t = tile(i, j);
+      t.matvec(1.0, x.data() + tile_begin(j), 1.0, y.data() + tile_begin(i));
+      t.matvec_trans(1.0, x.data() + tile_begin(i), 1.0, y.data() + tile_begin(j));
+    }
+  }
+}
+
+Matrix BLRMatrix::dense() const {
+  Matrix a(n_, n_);
+  for (index_t i = 0; i < nt_; ++i) {
+    la::copy(diags_[static_cast<std::size_t>(i)].view(),
+             a.block(tile_begin(i), tile_begin(i), tile_size(i), tile_size(i)));
+    for (index_t j = 0; j < i; ++j) {
+      Matrix lower = tile(i, j).dense();
+      la::copy(lower.view(), a.block(tile_begin(i), tile_begin(j), tile_size(i),
+                                     tile_size(j)));
+      Matrix upper = la::transpose(lower.view());
+      la::copy(upper.view(), a.block(tile_begin(j), tile_begin(i), tile_size(j),
+                                     tile_size(i)));
+    }
+  }
+  return a;
+}
+
+std::int64_t BLRMatrix::memory_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& d : diags_) total += d.bytes();
+  for (const auto& t : tiles_) total += t.bytes();
+  return total;
+}
+
+index_t BLRMatrix::max_rank_used() const {
+  index_t r = 0;
+  for (const auto& t : tiles_) r = std::max(r, t.rank());
+  return r;
+}
+
+BLRMatrix build_blr(const BlockAccessor& acc, const BLROptions& opts) {
+  const index_t n = acc.size();
+  const index_t p = (n + opts.tile_size - 1) / opts.tile_size;
+  BLRMatrix m(n, p);
+  for (index_t i = 0; i < p; ++i) {
+    m.diag(i) = acc.block(m.tile_begin(i), m.tile_begin(i), m.tile_size(i),
+                          m.tile_size(i));
+    for (index_t j = 0; j < i; ++j) {
+      Matrix aij = acc.block(m.tile_begin(i), m.tile_begin(j), m.tile_size(i),
+                             m.tile_size(j));
+      m.tile(i, j) = lr::compress(aij.view(), opts.max_rank, opts.tol);
+    }
+  }
+  return m;
+}
+
+BLRMatrix make_blr_skeleton(index_t n, index_t tile_size, index_t rank) {
+  const index_t p = (n + tile_size - 1) / tile_size;
+  BLRMatrix m(n, p);
+  for (index_t i = 0; i < p; ++i)
+    for (index_t j = 0; j < i; ++j) {
+      const index_t r = std::min({rank, m.tile_size(i), m.tile_size(j)});
+      m.tile(i, j) = lr::LowRank(Matrix(0, r), Matrix(0, r));
+    }
+  return m;
+}
+
+}  // namespace hatrix::fmt

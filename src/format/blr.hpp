@@ -1,0 +1,67 @@
+#pragma once
+/// \file blr.hpp
+/// \brief Flat BLR matrix (the LORAPO baseline's format).
+///
+/// Uniform tiling; every off-diagonal tile is compressed *individually*
+/// (no shared bases, unlike BLR²/HSS), diagonal tiles stay dense. LORAPO
+/// runs a tile Cholesky on this format with adaptive per-tile ranks, which
+/// is what gives it O(N^2) factorization complexity (Table 1).
+
+#include <vector>
+
+#include "format/accessor.hpp"
+#include "lowrank/compress.hpp"
+
+namespace hatrix::fmt {
+
+struct BLROptions {
+  index_t tile_size = 2048;  ///< paper uses 2048/4096 for LORAPO (Table 2)
+  index_t max_rank = 1024;   ///< per-tile rank cap
+  double tol = 1e-8;         ///< adaptive-rank truncation tolerance
+};
+
+class BLRMatrix {
+ public:
+  BLRMatrix() = default;
+  BLRMatrix(index_t n, index_t num_tiles);
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] index_t num_tiles() const { return nt_; }
+  [[nodiscard]] index_t tile_begin(index_t i) const { return i * n_ / nt_; }
+  [[nodiscard]] index_t tile_size(index_t i) const {
+    return (i + 1) * n_ / nt_ - i * n_ / nt_;
+  }
+
+  /// Dense diagonal tile i.
+  [[nodiscard]] Matrix& diag(index_t i);
+  [[nodiscard]] const Matrix& diag(index_t i) const;
+
+  /// Low-rank off-diagonal tile (i, j), i > j (lower triangle; the matrix
+  /// is symmetric).
+  [[nodiscard]] lr::LowRank& tile(index_t i, index_t j);
+  [[nodiscard]] const lr::LowRank& tile(index_t i, index_t j) const;
+
+  void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+  [[nodiscard]] Matrix dense() const;
+  [[nodiscard]] std::int64_t memory_bytes() const;
+  /// Largest tile rank (LORAPO's adaptive ranks: reported by benches).
+  [[nodiscard]] index_t max_rank_used() const;
+
+ private:
+  index_t n_ = 0;
+  index_t nt_ = 0;
+  std::vector<Matrix> diags_;
+  std::vector<lr::LowRank> tiles_;  // packed strict lower triangle
+};
+
+/// Build a symmetric BLR approximation with per-tile truncated-QR
+/// compression at opts.tol (capped at opts.max_rank).
+BLRMatrix build_blr(const BlockAccessor& acc, const BLROptions& opts);
+
+/// Structure-only BLR skeleton: every off-diagonal tile reports `rank`
+/// (clipped by the tile size) but no numerical data is allocated — tile
+/// factors get 0 x rank shapes. For emitting costing-only LORAPO DAGs at
+/// scales where the matrix itself is irrelevant.
+BLRMatrix make_blr_skeleton(index_t n, index_t tile_size, index_t rank);
+
+}  // namespace hatrix::fmt

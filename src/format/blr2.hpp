@@ -1,0 +1,60 @@
+#pragma once
+/// \file blr2.hpp
+/// \brief BLR² matrix: single-level block low rank with shared bases
+/// (Fig. 1 of the paper, weak admissibility, symmetric).
+///
+/// A_ii = D_i dense; A_ij = U_i S_ij U_jᵀ for i != j with one shared basis
+/// per block row. The BLR²-ULV factorization (Alg. 1) runs on this format;
+/// an HSS matrix is one BLR² matrix per level (Sec. 2).
+
+#include <vector>
+
+#include "format/accessor.hpp"
+#include "format/hss.hpp"  // HSSOptions
+
+namespace hatrix::fmt {
+
+class BLR2Matrix {
+ public:
+  struct Node {
+    index_t begin = 0;
+    index_t end = 0;
+    index_t rank = 0;
+    Matrix basis;  ///< U_i, block_size x rank, orthonormal columns
+    Matrix diag;   ///< D_i dense
+
+    [[nodiscard]] index_t block_size() const { return end - begin; }
+  };
+
+  BLR2Matrix() = default;
+  BLR2Matrix(index_t n, index_t num_blocks);
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] index_t num_blocks() const { return static_cast<index_t>(nodes_.size()); }
+
+  [[nodiscard]] Node& node(index_t i);
+  [[nodiscard]] const Node& node(index_t i) const;
+
+  /// Skeleton block S_ij for i > j (lower triangle; symmetry gives upper).
+  [[nodiscard]] Matrix& coupling(index_t i, index_t j);
+  [[nodiscard]] const Matrix& coupling(index_t i, index_t j) const;
+
+  /// y = A x in O(N·rank + N·leaf) flops.
+  void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Materialize the represented dense matrix (tests).
+  [[nodiscard]] Matrix dense() const;
+
+  [[nodiscard]] std::int64_t memory_bytes() const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Matrix> couplings_;  // packed strict lower triangle
+};
+
+/// Build a symmetric BLR² approximation: bases from the off-diagonal block
+/// row (sampled when opts.sample_cols > 0), couplings exact projections.
+BLR2Matrix build_blr2(const BlockAccessor& acc, const HSSOptions& opts);
+
+}  // namespace hatrix::fmt

@@ -1,0 +1,135 @@
+#include "format/hodlr.hpp"
+
+#include "common/error.hpp"
+#include "format/hss_builder.hpp"  // hss_levels (same tree convention)
+#include "linalg/blas.hpp"
+#include "lowrank/aca.hpp"
+
+namespace hatrix::fmt {
+
+HODLRMatrix::HODLRMatrix(index_t n, int max_level) : n_(n), max_level_(max_level) {
+  HATRIX_CHECK(n > 0 && max_level >= 0, "bad HODLR dimensions");
+  diags_.resize(static_cast<std::size_t>(num_nodes(max_level)));
+  blocks_.resize(static_cast<std::size_t>(max_level) + 1);
+  for (int l = 1; l <= max_level; ++l)
+    blocks_[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(num_pairs(l)));
+}
+
+std::pair<index_t, index_t> HODLRMatrix::range(int level, index_t i) const {
+  HATRIX_CHECK(level >= 0 && level <= max_level_, "level out of range");
+  HATRIX_CHECK(i >= 0 && i < num_nodes(level), "node out of range");
+  // Recreate the midpoint splits down from the root.
+  index_t begin = 0, end = n_;
+  for (int l = level - 1; l >= 0; --l) {
+    const index_t mid = begin + (end - begin + 1) / 2;
+    if ((i >> l) & 1)
+      begin = mid;
+    else
+      end = mid;
+  }
+  return {begin, end};
+}
+
+la::Matrix& HODLRMatrix::diag(index_t i) {
+  HATRIX_CHECK(i >= 0 && i < num_nodes(max_level_), "diag out of range");
+  return diags_[static_cast<std::size_t>(i)];
+}
+
+const la::Matrix& HODLRMatrix::diag(index_t i) const {
+  return const_cast<HODLRMatrix*>(this)->diag(i);
+}
+
+lr::LowRank& HODLRMatrix::block(int level, index_t pair) {
+  HATRIX_CHECK(level >= 1 && level <= max_level_, "block level out of range");
+  HATRIX_CHECK(pair >= 0 && pair < num_pairs(level), "block pair out of range");
+  return blocks_[static_cast<std::size_t>(level)][static_cast<std::size_t>(pair)];
+}
+
+const lr::LowRank& HODLRMatrix::block(int level, index_t pair) const {
+  return const_cast<HODLRMatrix*>(this)->block(level, pair);
+}
+
+void HODLRMatrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  HATRIX_CHECK(static_cast<index_t>(x.size()) == n_, "matvec dimension mismatch");
+  y.assign(static_cast<std::size_t>(n_), 0.0);
+  for (index_t i = 0; i < num_nodes(max_level_); ++i) {
+    auto [b, e] = range(max_level_, i);
+    (void)e;
+    la::gemv(1.0, diags_[static_cast<std::size_t>(i)].view(), la::Trans::No,
+             x.data() + b, 1.0, y.data() + b);
+  }
+  for (int l = 1; l <= max_level_; ++l) {
+    for (index_t t = 0; t < num_pairs(l); ++t) {
+      const auto& lr_block = block(l, t);
+      if (lr_block.rank() == 0) continue;
+      auto [b0, e0] = range(l, 2 * t);
+      auto [b1, e1] = range(l, 2 * t + 1);
+      (void)e0;
+      (void)e1;
+      lr_block.matvec(1.0, x.data() + b0, 1.0, y.data() + b1);
+      lr_block.matvec_trans(1.0, x.data() + b1, 1.0, y.data() + b0);
+    }
+  }
+}
+
+la::Matrix HODLRMatrix::dense() const {
+  la::Matrix a(n_, n_);
+  for (index_t i = 0; i < num_nodes(max_level_); ++i) {
+    auto [b, e] = range(max_level_, i);
+    la::copy(diags_[static_cast<std::size_t>(i)].view(), a.block(b, b, e - b, e - b));
+  }
+  for (int l = 1; l <= max_level_; ++l) {
+    for (index_t t = 0; t < num_pairs(l); ++t) {
+      auto [b0, e0] = range(l, 2 * t);
+      auto [b1, e1] = range(l, 2 * t + 1);
+      la::Matrix lower = block(l, t).dense();
+      la::copy(lower.view(), a.block(b1, b0, e1 - b1, e0 - b0));
+      la::Matrix upper = la::transpose(lower.view());
+      la::copy(upper.view(), a.block(b0, b1, e0 - b0, e1 - b1));
+    }
+  }
+  return a;
+}
+
+std::int64_t HODLRMatrix::memory_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& d : diags_) total += d.bytes();
+  for (const auto& level : blocks_)
+    for (const auto& b : level) total += b.bytes();
+  return total;
+}
+
+index_t HODLRMatrix::max_rank_used() const {
+  index_t r = 0;
+  for (const auto& level : blocks_)
+    for (const auto& b : level) r = std::max(r, b.rank());
+  return r;
+}
+
+HODLRMatrix build_hodlr(const BlockAccessor& acc, const HSSOptions& opts) {
+  const index_t n = acc.size();
+  const int L = hss_levels(n, opts.leaf_size);
+  HODLRMatrix m(n, L);
+
+  for (index_t i = 0; i < m.num_nodes(L); ++i) {
+    auto [b, e] = m.range(L, i);
+    m.diag(i) = acc.block(b, b, e - b, e - b);
+  }
+  for (int l = 1; l <= L; ++l) {
+    for (index_t t = 0; t < m.num_pairs(l); ++t) {
+      auto [b0, e0] = m.range(l, 2 * t);
+      auto [b1, e1] = m.range(l, 2 * t + 1);
+      // ACA evaluates only O((rows+cols)·rank) entries of the block.
+      auto entry = [&acc, b0 = b0, b1 = b1](index_t i, index_t j) {
+        la::Matrix e1x(1, 1);
+        acc.fill_block(b1 + i, b0 + j, e1x.view());
+        return e1x(0, 0);
+      };
+      m.block(l, t) = lr::aca(entry, e1 - b1, e0 - b0, opts.max_rank,
+                              opts.tol > 0.0 ? opts.tol : 1e-10);
+    }
+  }
+  return m;
+}
+
+}  // namespace hatrix::fmt

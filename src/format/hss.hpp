@@ -1,0 +1,95 @@
+#pragma once
+/// \file hss.hpp
+/// \brief Hierarchically Semi-Separable (HSS) matrix (symmetric, weak
+/// admissibility).
+///
+/// Structure follows the paper's notation (Sec. 2, Fig. 2): a complete
+/// binary tree of index intervals; level 0 is the root, level `max_level()`
+/// holds the leaves. Per leaf: a dense diagonal block and a shared row basis
+/// U. Per internal node: a transfer basis W that nests the children's bases
+/// (Eq. 6). Per sibling pair at every level: one skeleton coupling block
+/// S (we store the lower block S_{2t+1,2t}; symmetry gives the upper).
+///
+/// The matrix represented is:
+///   A(I_i, I_i)   = diag_i                          (leaf)
+///   A(I_j, I_i)   = Ũ_j · S_{j,i} · Ũ_iᵀ            (sibling pairs, j = i+1)
+/// with Ũ the nested basis: Ũ_leaf = U, Ũ_p = blockdiag(Ũ_c0, Ũ_c1) · W_p.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::fmt {
+
+using la::index_t;
+using la::Matrix;
+
+/// Construction parameters shared by the HSS and BLR2 builders.
+struct HSSOptions {
+  index_t leaf_size = 256;  ///< maximum leaf block size (paper Table 2)
+  index_t max_rank = 100;   ///< rank cap for every basis (paper "Max Rank")
+  double tol = 0.0;         ///< relative truncation tolerance (0: rank-only)
+  /// Number of sampled far-field columns per node used to find the basis;
+  /// 0 means exact construction (compress against the full off-diagonal
+  /// block row — O(N^2 k / leaf) work, only sensible for modest N).
+  index_t sample_cols = 0;
+  std::uint64_t seed = 42;  ///< RNG seed for column sampling
+};
+
+class HSSMatrix {
+ public:
+  /// One tree node's stored data.
+  struct Node {
+    index_t begin = 0;  ///< global index interval [begin, end)
+    index_t end = 0;
+    index_t rank = 0;   ///< basis column count k
+    /// Leaf: U (block_size x k). Internal: W ((k_c0 + k_c1) x k).
+    /// Orthonormal columns. Empty at the root.
+    Matrix basis;
+    /// Dense diagonal block (leaf level only).
+    Matrix diag;
+
+    [[nodiscard]] index_t block_size() const { return end - begin; }
+  };
+
+  HSSMatrix() = default;
+  HSSMatrix(index_t n, int max_level);
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] int max_level() const { return max_level_; }
+  [[nodiscard]] index_t num_nodes(int level) const { return index_t{1} << level; }
+  [[nodiscard]] index_t num_pairs(int level) const { return num_nodes(level) / 2; }
+
+  [[nodiscard]] Node& node(int level, index_t i);
+  [[nodiscard]] const Node& node(int level, index_t i) const;
+
+  /// Sibling coupling S_{2t+1, 2t} at `level` (k_{2t+1} x k_{2t}).
+  [[nodiscard]] Matrix& coupling(int level, index_t pair);
+  [[nodiscard]] const Matrix& coupling(int level, index_t pair) const;
+
+  /// y = A x using the compressed representation, O(N·k) flops.
+  void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Materialize the represented dense matrix (tests / small problems).
+  [[nodiscard]] Matrix dense() const;
+
+  /// Explicit nested basis Ũ of a node (block_size x rank), formed
+  /// recursively; used by dense() and by tests checking the nesting
+  /// property.
+  [[nodiscard]] Matrix full_basis(int level, index_t i) const;
+
+  /// Largest basis rank anywhere in the tree.
+  [[nodiscard]] index_t max_rank_used() const;
+
+  /// Total compressed storage in bytes (diagonals + bases + couplings).
+  [[nodiscard]] std::int64_t memory_bytes() const;
+
+ private:
+  index_t n_ = 0;
+  int max_level_ = 0;
+  std::vector<std::vector<Node>> nodes_;         // [level][i]
+  std::vector<std::vector<Matrix>> couplings_;   // [level][pair], level >= 1
+};
+
+}  // namespace hatrix::fmt

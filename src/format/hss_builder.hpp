@@ -1,0 +1,48 @@
+#pragma once
+/// \file hss_builder.hpp
+/// \brief HSS construction from a block accessor (Sec. 2 of the paper).
+///
+/// Algorithm: interpolative-decomposition skeletonization with per-node
+/// orthonormalization.
+///
+/// * Leaf i: the shared row basis comes from compressing the off-diagonal
+///   block row A(I_i, I_i^c) (Eq. 2) — either against the full complement
+///   (`sample_cols == 0`, exact) or against a random column sample
+///   (matrix-free O(N) construction, the same idea STRUMPACK's randomized
+///   construction uses). A row-ID selects `rank` skeleton rows and the
+///   interpolation factor is QR-orthonormalized into U_i; the R factor is
+///   retained so upper levels can work on skeleton rows only.
+/// * Internal node p: the transfer basis W_p (Eq. 6 nesting) is built from
+///   the union of the children's skeleton rows, so each level costs O(rank)
+///   kernel evaluations per node.
+/// * Couplings: exact U_jᵀ A(I_j, I_i) U_i at the leaf level; skeleton-
+///   compressed R̄_j A(sk_j, sk_i) R̄_iᵀ at upper levels.
+
+#include <memory>
+
+#include "format/accessor.hpp"
+#include "format/hss.hpp"
+
+namespace hatrix::fmt {
+
+/// Number of tree levels build_hss will use for a given size/leaf choice.
+int hss_levels(index_t n, index_t leaf_size);
+
+/// Build a symmetric HSS approximation of the matrix behind `acc`.
+HSSMatrix build_hss(const BlockAccessor& acc, const HSSOptions& opts);
+
+/// Structure-only HSS "skeleton": index intervals and ranks are assigned
+/// (uniform `rank`, clipped by block sizes) but no numerical data is
+/// allocated. Used to emit costing-only ULV DAGs at scales where
+/// materializing the matrix is pointless — the discrete-event simulator
+/// needs shapes, not numbers.
+HSSMatrix make_hss_skeleton(index_t n, index_t leaf_size, index_t rank);
+
+/// Random symmetric positive definite HSS matrix with the given tree shape:
+/// random orthonormal bases and couplings, leaf diagonals shifted by a bound
+/// on the off-diagonal spectral mass so the represented operator is SPD by
+/// construction. Lets property tests exercise the ULV machinery on matrices
+/// that did not come from any kernel or builder.
+HSSMatrix make_random_spd_hss(index_t n, index_t leaf_size, index_t rank, Rng& rng);
+
+}  // namespace hatrix::fmt

@@ -1,0 +1,91 @@
+#include "hatrix/drivers.hpp"
+
+#include "blrchol/blr_cholesky_tasks.hpp"
+#include "common/error.hpp"
+#include "format/blr.hpp"
+#include "format/hss_builder.hpp"
+#include "ulv/hss_ulv_tasks.hpp"
+
+namespace hatrix::driver {
+
+std::string system_name(System s) {
+  switch (s) {
+    case System::HatrixDTD:
+      return "HATRIX-DTD";
+    case System::HatrixPTG:
+      return "HATRIX-PTG";
+    case System::StrumpackSim:
+      return "STRUMPACK";
+    case System::LorapoSim:
+      return "LORAPO";
+    case System::DenseDplasmaSim:
+      return "DPLASMA";
+  }
+  throw Error("unknown system");
+}
+
+SimOutcome run_simulated(System sys, const SimExperiment& cfg) {
+  rt::TaskGraph graph;
+  distsim::Mapping mapping;
+  distsim::SimConfig sim_cfg;
+  sim_cfg.procs = cfg.nodes;
+  sim_cfg.cores_per_proc = cfg.cores_per_node;
+  sim_cfg.network = cfg.network;
+  sim_cfg.overhead = cfg.overhead;
+
+  // Keep skeletons alive for the duration of the simulation: the DAG state
+  // references them.
+  fmt::HSSMatrix hss_skel;
+  fmt::BLRMatrix blr_skel;
+
+  switch (sys) {
+    case System::HatrixDTD:
+    case System::HatrixPTG: {
+      hss_skel = fmt::make_hss_skeleton(cfg.n, cfg.leaf_size, cfg.rank);
+      auto dag = ulv::emit_hss_ulv_dag(hss_skel, graph, /*with_work=*/false);
+      mapping = distsim::map_hss_row_cyclic(dag, graph, cfg.nodes);
+      sim_cfg.model = sys == System::HatrixPTG ? distsim::ExecModel::AsyncPtg
+                                               : distsim::ExecModel::AsyncDtd;
+      break;
+    }
+    case System::StrumpackSim: {
+      hss_skel = fmt::make_hss_skeleton(cfg.n, cfg.leaf_size, cfg.rank);
+      auto dag = ulv::emit_hss_ulv_dag(hss_skel, graph, /*with_work=*/false);
+      mapping = distsim::map_hss_block_cyclic(dag, graph, cfg.nodes);
+      sim_cfg.model = distsim::ExecModel::ForkJoin;
+      // Fork-join runtimes do not pay DTD whole-graph discovery.
+      sim_cfg.overhead.discovery_per_task = 0.0;
+      break;
+    }
+    case System::LorapoSim: {
+      blr_skel = fmt::make_blr_skeleton(cfg.n, cfg.leaf_size, cfg.rank);
+      auto dag = blrchol::emit_blr_cholesky_dag(blr_skel, graph, /*with_work=*/false);
+      mapping = distsim::map_blr_block_cyclic(dag, graph, cfg.nodes);
+      sim_cfg.model = distsim::ExecModel::AsyncDtd;
+      break;
+    }
+    case System::DenseDplasmaSim: {
+      auto dag = blrchol::emit_dense_cholesky_dag({}, cfg.n, cfg.leaf_size, graph,
+                                                  /*with_work=*/false);
+      mapping = distsim::map_dense_block_cyclic(dag, graph, cfg.nodes);
+      sim_cfg.model = distsim::ExecModel::AsyncDtd;
+      break;
+    }
+  }
+
+  distsim::CostModel cost(cfg.gflops_per_core);
+  auto res = distsim::simulate(graph, mapping, cost, sim_cfg);
+
+  SimOutcome out;
+  out.factor_time = res.makespan;
+  out.compute_per_worker = res.compute_per_worker(sim_cfg);
+  out.overhead_per_worker = res.overhead_per_worker(sim_cfg);
+  out.mpi_per_process = res.mpi_per_process(sim_cfg);
+  out.tasks = graph.num_tasks();
+  out.messages = res.messages;
+  out.comm_bytes = res.bytes;
+  for (const auto& t : graph.tasks()) out.flops += distsim::CostModel::task_flops(t);
+  return out;
+}
+
+}  // namespace hatrix::driver

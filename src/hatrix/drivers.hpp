@@ -1,0 +1,58 @@
+#pragma once
+/// \file drivers.hpp
+/// \brief Top-level drivers for the three systems the paper compares.
+///
+/// * HATRIX-DTD  = HSS-ULV x asynchronous DTD runtime x row-cyclic
+/// * STRUMPACK   = HSS-ULV x fork-join (barrier per level) x block-cyclic
+/// * LORAPO      = BLR tile Cholesky x DTD runtime x 2D block-cyclic
+/// * DPLASMA     = dense tile Cholesky x DTD runtime x 2D block-cyclic
+///
+/// `run_simulated` replays the real task DAG of the chosen system through
+/// the discrete-event cluster model (the repo's Fugaku substitution);
+/// the benches drive it to regenerate Figs. 9-12 and Table 1.
+
+#include <cstdint>
+#include <string>
+
+#include "distsim/des.hpp"
+
+namespace hatrix::driver {
+
+/// Which of the compared implementations to model. HatrixPTG is the paper's
+/// suggested evolution (conclusion / Sec. 4.2): same algorithm and
+/// distribution as HATRIX-DTD, but PTG-style local-only task generation.
+enum class System { HatrixDTD, HatrixPTG, StrumpackSim, LorapoSim, DenseDplasmaSim };
+
+/// Display name ("HATRIX-DTD", "HATRIX-PTG", "STRUMPACK", "LORAPO", "DPLASMA").
+std::string system_name(System s);
+
+/// One simulated distributed factorization run.
+struct SimExperiment {
+  la::index_t n = 16384;          ///< problem size
+  la::index_t leaf_size = 256;    ///< HSS leaf / BLR-dense tile size
+  la::index_t rank = 100;         ///< max rank (HSS) / tile rank (BLR)
+  int nodes = 2;                  ///< processes (1 per node, as the paper)
+  int cores_per_node = 48;        ///< Fugaku A64FX
+  double gflops_per_core = 40.0;  ///< sustained per-core rate (A64FX-like)
+  distsim::NetworkModel network;  ///< TofuD-like defaults
+  distsim::OverheadModel overhead;
+};
+
+/// Observables shared by Figs. 9-12 and Table 1.
+struct SimOutcome {
+  double factor_time = 0.0;          ///< simulated makespan (s)
+  double compute_per_worker = 0.0;   ///< Fig. 10 "COMPUTE TASK TIME"
+  double overhead_per_worker = 0.0;  ///< Fig. 10 "RUNTIME OVERHEAD"
+  double mpi_per_process = 0.0;      ///< Fig. 10b "MPI TIME" (per rank)
+  std::int64_t tasks = 0;
+  std::int64_t messages = 0;
+  std::int64_t comm_bytes = 0;
+  double flops = 0.0;                ///< modeled compute flops of the DAG
+};
+
+/// Build the system's costing DAG at the requested scale (rank skeletons,
+/// no numerical data), map it with the system's distribution policy, and
+/// run the discrete-event simulation.
+SimOutcome run_simulated(System sys, const SimExperiment& cfg);
+
+}  // namespace hatrix::driver

@@ -1,0 +1,47 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Real (numerical) accuracy experiments — Table 2 of the paper.
+///
+/// Builds the kernel matrix on the uniform 2D grid geometry (Sec. 5),
+/// compresses it (HSS for the HATRIX/STRUMPACK rows, BLR for LORAPO),
+/// factorizes and measures the paper's two error metrics:
+///   construction error (Eq. 18):  ||A_dense b - A b|| / ||A_dense b||
+///   solve error        (Eq. 19):  ||b - A^{-1} A b|| / ||b||
+/// A_dense·b is evaluated matrix-free in streamed panels, so no experiment
+/// ever allocates N^2 doubles.
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::driver {
+
+struct AccuracySetup {
+  std::string kernel = "yukawa";  ///< laplace2d | yukawa | matern | gaussian
+  la::index_t n = 8192;
+  la::index_t leaf_size = 256;    ///< HSS leaf / BLR tile size
+  la::index_t max_rank = 100;
+  double tol = 0.0;               ///< truncation tolerance (0 = rank-only)
+  la::index_t sample_cols = 0;    ///< HSS construction sampling (0 = exact)
+  std::uint64_t seed = 42;
+};
+
+struct AccuracyOutcome {
+  double construct_error = 0.0;  ///< Eq. 18
+  double solve_error = 0.0;      ///< Eq. 19
+  la::index_t rank_used = 0;     ///< largest rank actually used
+  double build_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::int64_t compressed_bytes = 0;
+};
+
+/// HSS + HSS-ULV (the HATRIX-DTD and STRUMPACK rows of Table 2).
+AccuracyOutcome hss_accuracy(const AccuracySetup& setup);
+
+/// Flat BLR + BLR tile Cholesky (the LORAPO rows; `tol` drives the
+/// adaptive per-tile ranks like LORAPO's 1e-8 setting).
+AccuracyOutcome blr_accuracy(const AccuracySetup& setup);
+
+}  // namespace hatrix::driver

@@ -1,0 +1,54 @@
+#include "kernels/kernel_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace hatrix::kernels {
+
+using la::index_t;
+
+KernelMatrix::KernelMatrix(const Kernel& kernel, std::vector<geom::Point> points,
+                           double diag_shift)
+    : kernel_(&kernel), points_(std::move(points)), diag_shift_(diag_shift) {}
+
+double KernelMatrix::entry(index_t i, index_t j) const {
+  double v = (*kernel_)(points_[static_cast<std::size_t>(i)],
+                        points_[static_cast<std::size_t>(j)]);
+  if (i == j) v += diag_shift_;
+  return v;
+}
+
+void KernelMatrix::fill_block(index_t row0, index_t col0, la::MatrixView out) const {
+  HATRIX_CHECK(row0 >= 0 && col0 >= 0 && row0 + out.rows <= size() &&
+                   col0 + out.cols <= size(),
+               "kernel block out of range");
+  for (index_t j = 0; j < out.cols; ++j)
+    for (index_t i = 0; i < out.rows; ++i) out(i, j) = entry(row0 + i, col0 + j);
+}
+
+la::Matrix KernelMatrix::block(index_t row0, index_t col0, index_t rows,
+                               index_t cols) const {
+  la::Matrix out(rows, cols);
+  fill_block(row0, col0, out.view());
+  return out;
+}
+
+la::Matrix KernelMatrix::dense() const { return block(0, 0, size(), size()); }
+
+void KernelMatrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  const index_t n = size();
+  HATRIX_CHECK(static_cast<index_t>(x.size()) == n, "matvec dimension mismatch");
+  y.assign(static_cast<std::size_t>(n), 0.0);
+  constexpr index_t kPanel = 512;
+  la::Matrix panel(std::min(kPanel, n), n);
+  for (index_t r0 = 0; r0 < n; r0 += kPanel) {
+    const index_t m = std::min(kPanel, n - r0);
+    la::MatrixView p = panel.block(0, 0, m, n);
+    fill_block(r0, 0, p);
+    la::gemv(1.0, p, la::Trans::No, x.data(), 0.0, y.data() + r0);
+  }
+}
+
+}  // namespace hatrix::kernels

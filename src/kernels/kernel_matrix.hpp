@@ -1,0 +1,59 @@
+#pragma once
+/// \file kernel_matrix.hpp
+/// \brief Lazy kernel-matrix generator.
+///
+/// Presents A_ij = K(p_i, p_j) (+ optional diagonal shift) over a tree-
+/// ordered point set without materializing the full dense matrix. HSS
+/// builders request blocks on demand, and the accuracy benches compute
+/// A_dense * b in streamed row panels, so N = 65,536 never allocates N^2
+/// doubles.
+
+#include <vector>
+
+#include "geometry/cluster_tree.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hatrix::kernels {
+
+class KernelMatrix {
+ public:
+  /// `points` must already be in cluster-tree order. `diag_shift` is added
+  /// to every diagonal entry (0 keeps the pure Green's function; a positive
+  /// shift regularizes kernels that are only conditionally positive
+  /// definite on a given geometry).
+  KernelMatrix(const Kernel& kernel, std::vector<geom::Point> points,
+               double diag_shift = 0.0);
+
+  [[nodiscard]] la::index_t size() const {
+    return static_cast<la::index_t>(points_.size());
+  }
+
+  /// Single entry A(i, j).
+  [[nodiscard]] double entry(la::index_t i, la::index_t j) const;
+
+  /// Fill `out` with the block A([row0, row0+out.rows), [col0, col0+out.cols)).
+  void fill_block(la::index_t row0, la::index_t col0, la::MatrixView out) const;
+
+  /// The block as a new matrix.
+  [[nodiscard]] la::Matrix block(la::index_t row0, la::index_t col0,
+                                 la::index_t rows, la::index_t cols) const;
+
+  /// Full dense matrix (only sensible for modest N; tests and reference
+  /// paths).
+  [[nodiscard]] la::Matrix dense() const;
+
+  /// y = A x computed in streamed row panels; O(N) memory.
+  void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  [[nodiscard]] const std::vector<geom::Point>& points() const { return points_; }
+  [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
+  [[nodiscard]] double diag_shift() const { return diag_shift_; }
+
+ private:
+  const Kernel* kernel_;
+  std::vector<geom::Point> points_;
+  double diag_shift_;
+};
+
+}  // namespace hatrix::kernels

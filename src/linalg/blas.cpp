@@ -1,0 +1,253 @@
+#include "linalg/blas.hpp"
+
+#include "common/flops.hpp"
+
+namespace hatrix::la {
+
+namespace {
+
+// Dimension of op(A): rows(op(A)) and cols(op(A)).
+index_t op_rows(ConstMatrixView a, Trans t) { return t == Trans::No ? a.rows : a.cols; }
+index_t op_cols(ConstMatrixView a, Trans t) { return t == Trans::No ? a.cols : a.rows; }
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+          double beta, MatrixView c) {
+  const index_t m = op_rows(a, ta), k = op_cols(a, ta);
+  const index_t n = op_cols(b, tb);
+  HATRIX_CHECK(op_rows(b, tb) == k, "gemm inner dimension mismatch");
+  HATRIX_CHECK(c.rows == m && c.cols == n, "gemm output shape mismatch");
+  flops::add(static_cast<std::uint64_t>(2) * m * n * k);
+
+  if (beta == 0.0) {
+    fill(c, 0.0);
+  } else if (beta != 1.0) {
+    scale(c, beta);
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  // Column-major friendly loop orders; the A-no-trans cases stream down
+  // columns of A and C.
+  if (ta == Trans::No && tb == Trans::No) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t l = 0; l < k; ++l) {
+        const double blj = alpha * b(l, j);
+        if (blj == 0.0) continue;
+        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
+      }
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t l = 0; l < k; ++l) {
+        const double blj = alpha * b(j, l);
+        if (blj == 0.0) continue;
+        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
+      }
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (index_t l = 0; l < k; ++l) s += a(l, i) * b(l, j);
+        c(i, j) += alpha * s;
+      }
+  } else {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (index_t l = 0; l < k; ++l) s += a(l, i) * b(j, l);
+        c(i, j) += alpha * s;
+      }
+  }
+}
+
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta, Trans tb) {
+  Matrix c(op_rows(a, ta), op_cols(b, tb));
+  gemm(1.0, a, ta, b, tb, 0.0, c.view());
+  return c;
+}
+
+void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c) {
+  const index_t n = op_rows(a, trans), k = op_cols(a, trans);
+  HATRIX_CHECK(c.rows == n && c.cols == n, "syrk output shape mismatch");
+  flops::add(static_cast<std::uint64_t>(n) * n * k);  // symmetric half counted
+
+  if (beta == 0.0) {
+    fill(c, 0.0);
+  } else if (beta != 1.0) {
+    scale(c, beta);
+  }
+  // Compute the lower triangle, then mirror.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      if (trans == Trans::No) {
+        for (index_t l = 0; l < k; ++l) s += a(i, l) * a(j, l);
+      } else {
+        for (index_t l = 0; l < k; ++l) s += a(l, i) * a(l, j);
+      }
+      c(i, j) += alpha * s;
+    }
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) c(j, i) = c(i, j);
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  HATRIX_CHECK(t.rows == t.cols, "trsm triangular matrix must be square");
+  const index_t n = t.rows;
+  if (side == Side::Left) {
+    HATRIX_CHECK(b.rows == n, "trsm dimension mismatch");
+  } else {
+    HATRIX_CHECK(b.cols == n, "trsm dimension mismatch");
+  }
+  flops::add(static_cast<std::uint64_t>(n) * n *
+             (side == Side::Left ? b.cols : b.rows));
+  if (alpha != 1.0) scale(b, alpha);
+
+  // Effective orientation: solving with op(T). Lower-no-trans and
+  // upper-trans both resolve forward; the other two resolve backward.
+  const bool lower = (uplo == UpLo::Lower);
+  const bool forward = (lower == (trans == Trans::No));
+  const bool unit = (diag == Diag::Unit);
+
+  auto tval = [&](index_t i, index_t j) {
+    return trans == Trans::No ? t(i, j) : t(j, i);
+  };
+
+  if (side == Side::Left) {
+    // Solve op(T) X = B, column by column of B.
+    for (index_t col = 0; col < b.cols; ++col) {
+      if (forward) {
+        for (index_t i = 0; i < n; ++i) {
+          double s = b(i, col);
+          for (index_t j = 0; j < i; ++j) s -= tval(i, j) * b(j, col);
+          b(i, col) = unit ? s : s / tval(i, i);
+        }
+      } else {
+        for (index_t i = n - 1; i >= 0; --i) {
+          double s = b(i, col);
+          for (index_t j = i + 1; j < n; ++j) s -= tval(i, j) * b(j, col);
+          b(i, col) = unit ? s : s / tval(i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X op(T) = B, row by row of B: X(r,:) uses previously solved cols.
+    for (index_t row = 0; row < b.rows; ++row) {
+      if (forward) {
+        // op(T) effectively lower => X columns resolve from last to first:
+        // X(:,j) = (B(:,j) - sum_{l>j} X(:,l) op(T)(l,j)) / op(T)(j,j)
+        for (index_t j = n - 1; j >= 0; --j) {
+          double s = b(row, j);
+          for (index_t l = j + 1; l < n; ++l) s -= b(row, l) * tval(l, j);
+          b(row, j) = unit ? s : s / tval(j, j);
+        }
+      } else {
+        for (index_t j = 0; j < n; ++j) {
+          double s = b(row, j);
+          for (index_t l = 0; l < j; ++l) s -= b(row, l) * tval(l, j);
+          b(row, j) = unit ? s : s / tval(j, j);
+        }
+      }
+    }
+  }
+}
+
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  HATRIX_CHECK(t.rows == t.cols, "trmm triangular matrix must be square");
+  const index_t n = t.rows;
+  if (side == Side::Left) {
+    HATRIX_CHECK(b.rows == n, "trmm dimension mismatch");
+  } else {
+    HATRIX_CHECK(b.cols == n, "trmm dimension mismatch");
+  }
+  flops::add(static_cast<std::uint64_t>(n) * n *
+             (side == Side::Left ? b.cols : b.rows));
+
+  const bool unit = (diag == Diag::Unit);
+  auto tval = [&](index_t i, index_t j) {
+    double v = trans == Trans::No ? t(i, j) : t(j, i);
+    return v;
+  };
+  // op(T) is lower iff (uplo==Lower) == (trans==No).
+  const bool op_lower = ((uplo == UpLo::Lower) == (trans == Trans::No));
+
+  if (side == Side::Left) {
+    for (index_t col = 0; col < b.cols; ++col) {
+      if (op_lower) {
+        for (index_t i = n - 1; i >= 0; --i) {
+          double s = unit ? b(i, col) : tval(i, i) * b(i, col);
+          for (index_t j = 0; j < i; ++j) s += tval(i, j) * b(j, col);
+          b(i, col) = alpha * s;
+        }
+      } else {
+        for (index_t i = 0; i < n; ++i) {
+          double s = unit ? b(i, col) : tval(i, i) * b(i, col);
+          for (index_t j = i + 1; j < n; ++j) s += tval(i, j) * b(j, col);
+          b(i, col) = alpha * s;
+        }
+      }
+    }
+  } else {
+    for (index_t row = 0; row < b.rows; ++row) {
+      if (op_lower) {
+        // B := B * op(T); column j of result uses cols l >= j of B.
+        for (index_t j = 0; j < n; ++j) {
+          double s = unit ? b(row, j) : b(row, j) * tval(j, j);
+          for (index_t l = j + 1; l < n; ++l) s += b(row, l) * tval(l, j);
+          b(row, j) = alpha * s;
+        }
+      } else {
+        for (index_t j = n - 1; j >= 0; --j) {
+          double s = unit ? b(row, j) : b(row, j) * tval(j, j);
+          for (index_t l = 0; l < j; ++l) s += b(row, l) * tval(l, j);
+          b(row, j) = alpha * s;
+        }
+      }
+    }
+  }
+}
+
+void gemv(double alpha, ConstMatrixView a, Trans ta, const double* x, double beta,
+          double* y) {
+  const index_t m = op_rows(a, ta), n = op_cols(a, ta);
+  flops::add(static_cast<std::uint64_t>(2) * m * n);
+  for (index_t i = 0; i < m; ++i) y[i] *= beta;
+  if (ta == Trans::No) {
+    for (index_t j = 0; j < n; ++j) {
+      const double xj = alpha * x[j];
+      if (xj == 0.0) continue;
+      for (index_t i = 0; i < m; ++i) y[i] += a(i, j) * xj;
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t j = 0; j < n; ++j) s += a(j, i) * x[j];
+      y[i] += alpha * s;
+    }
+  }
+}
+
+void add_scaled(MatrixView y, double alpha, ConstMatrixView x) {
+  HATRIX_CHECK(y.rows == x.rows && y.cols == x.cols, "add_scaled shape mismatch");
+  flops::add(static_cast<std::uint64_t>(2) * y.rows * y.cols);
+  for (index_t j = 0; j < y.cols; ++j)
+    for (index_t i = 0; i < y.rows; ++i) y(i, j) += alpha * x(i, j);
+}
+
+void scale(MatrixView a, double alpha) {
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) a(i, j) *= alpha;
+}
+
+double dot(ConstMatrixView a, ConstMatrixView b) {
+  HATRIX_CHECK(a.rows == b.rows && a.cols == b.cols, "dot shape mismatch");
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) s += a(i, j) * b(i, j);
+  return s;
+}
+
+}  // namespace hatrix::la

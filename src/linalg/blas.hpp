@@ -1,0 +1,55 @@
+#pragma once
+/// \file blas.hpp
+/// \brief BLAS-style dense kernels (levels 1-3) on matrix views.
+///
+/// All kernels count their classical flop totals through hatrix::flops so
+/// benches can measure algorithmic complexity (Table 1 of the paper).
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::la {
+
+/// Transposition selector for gemm-family kernels.
+enum class Trans { No, Yes };
+/// Which triangle of a triangular/symmetric matrix is referenced.
+enum class UpLo { Lower, Upper };
+/// Whether the triangular matrix multiplies from the left or right.
+enum class Side { Left, Right };
+/// Whether the triangular matrix has an implicit unit diagonal.
+enum class Diag { NonUnit, Unit };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+          double beta, MatrixView c);
+
+/// Convenience: returns op(A)*op(B) as a new matrix.
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta = Trans::No,
+              Trans tb = Trans::No);
+
+/// C = alpha * A * Aᵀ + beta * C (trans==No) or alpha * Aᵀ * A + beta * C
+/// (trans==Yes). Both triangles of C are written (full symmetric result).
+void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c);
+
+/// B = alpha * op(T)⁻¹ B (Side::Left) or alpha * B op(T)⁻¹ (Side::Right),
+/// where T is triangular per `uplo`/`diag`.
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b);
+
+/// B = op(T) * B (Side::Left) or B * op(T) (Side::Right).
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b);
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(double alpha, ConstMatrixView a, Trans ta, const double* x, double beta,
+          double* y);
+
+/// Y += alpha * X (same shapes).
+void add_scaled(MatrixView y, double alpha, ConstMatrixView x);
+
+/// A *= alpha.
+void scale(MatrixView a, double alpha);
+
+/// Frobenius inner product <A, B>.
+double dot(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace hatrix::la

@@ -1,0 +1,62 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/flops.hpp"
+#include "linalg/blas.hpp"
+
+namespace hatrix::la {
+
+std::vector<index_t> getrf(MatrixView a) {
+  HATRIX_CHECK(a.rows == a.cols, "getrf requires a square matrix");
+  const index_t n = a.rows;
+  flops::add(static_cast<std::uint64_t>(2) * n * n * n / 3);
+  std::vector<index_t> piv(static_cast<std::size_t>(n));
+
+  for (index_t k = 0; k < n; ++k) {
+    index_t p = k;
+    double best = std::abs(a(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        p = i;
+      }
+    }
+    HATRIX_CHECK(best > 0.0, "getrf: singular matrix at column " + std::to_string(k));
+    piv[static_cast<std::size_t>(k)] = p;
+    if (p != k)
+      for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+
+    const double pivot = a(k, k);
+    for (index_t i = k + 1; i < n; ++i) a(i, k) /= pivot;
+    for (index_t j = k + 1; j < n; ++j) {
+      const double akj = a(k, j);
+      if (akj == 0.0) continue;
+      for (index_t i = k + 1; i < n; ++i) a(i, j) -= a(i, k) * akj;
+    }
+  }
+  return piv;
+}
+
+void getrs(ConstMatrixView lu, const std::vector<index_t>& piv, MatrixView b) {
+  const index_t n = lu.rows;
+  HATRIX_CHECK(b.rows == n, "getrs dimension mismatch");
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = piv[static_cast<std::size_t>(k)];
+    if (p != k)
+      for (index_t j = 0; j < b.cols; ++j) std::swap(b(k, j), b(p, j));
+  }
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, lu, b);
+  trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, lu, b);
+}
+
+Matrix solve(ConstMatrixView a, ConstMatrixView b) {
+  Matrix lu = Matrix::from_view(a);
+  auto piv = getrf(lu.view());
+  Matrix x = Matrix::from_view(b);
+  getrs(lu.view(), piv, x.view());
+  return x;
+}
+
+}  // namespace hatrix::la

@@ -1,0 +1,22 @@
+#pragma once
+/// \file lu.hpp
+/// \brief LU factorization with partial pivoting and general solves.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::la {
+
+/// In-place LU with partial pivoting: A = P·L·U with unit-diagonal L stored
+/// below the diagonal and U on/above it. Returns the pivot rows (LAPACK
+/// convention: row i was swapped with piv[i]). Throws on exact singularity.
+std::vector<index_t> getrf(MatrixView a);
+
+/// Solve A·X = B given the getrf output; B is overwritten with X.
+void getrs(ConstMatrixView lu, const std::vector<index_t>& piv, MatrixView b);
+
+/// Convenience: solve a general square system; returns X.
+Matrix solve(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace hatrix::la

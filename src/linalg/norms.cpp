@@ -1,0 +1,60 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+
+namespace hatrix::la {
+
+double norm_fro(ConstMatrixView a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+double norm_max(ConstMatrixView a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) m = std::max(m, std::abs(a(i, j)));
+  return m;
+}
+
+double norm2(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+double rel_error(ConstMatrixView a, ConstMatrixView b) {
+  HATRIX_CHECK(a.rows == b.rows && a.cols == b.cols, "rel_error shape mismatch");
+  double num = 0.0, den = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+      den += a(i, j) * a(i, j);
+    }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+double norm2_estimate(ConstMatrixView a, int iterations) {
+  if (a.rows == 0 || a.cols == 0) return 0.0;
+  Rng rng(7);
+  std::vector<double> x = rng.normal_vector(a.cols);
+  std::vector<double> ax(static_cast<std::size_t>(a.rows), 0.0);
+  double sigma = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    double nx = norm2(x);
+    if (nx == 0.0) return 0.0;
+    for (auto& v : x) v /= nx;
+    gemv(1.0, a, Trans::No, x.data(), 0.0, ax.data());
+    gemv(1.0, a, Trans::Yes, ax.data(), 0.0, x.data());
+    sigma = std::sqrt(norm2(x));  // ||AᵀA x|| -> sigma^2 after normalization
+  }
+  return sigma;
+}
+
+}  // namespace hatrix::la

@@ -1,0 +1,202 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/flops.hpp"
+#include "linalg/blas.hpp"
+
+namespace hatrix::la {
+
+namespace {
+
+// Generate a Householder reflector for x (length m): H = I - tau v vᵀ with
+// v[0] = 1, such that H x = (beta, 0, ..., 0). Returns {tau, beta}; v is
+// written over x[1:].
+struct Reflector {
+  double tau;
+  double beta;
+};
+
+Reflector make_reflector(double* x, index_t m) {
+  double sigma = 0.0;
+  for (index_t i = 1; i < m; ++i) sigma += x[i] * x[i];
+  const double alpha = x[0];
+  if (sigma == 0.0) {
+    return {0.0, alpha};  // already e1-aligned; H = I
+  }
+  const double norm = std::sqrt(alpha * alpha + sigma);
+  const double beta = alpha >= 0.0 ? -norm : norm;
+  const double v0 = alpha - beta;
+  for (index_t i = 1; i < m; ++i) x[i] /= v0;
+  const double tau = (beta - alpha) / beta;
+  return {tau, beta};
+}
+
+// Apply H = I - tau v vᵀ (v[0] implicit 1, stored in col below diag) to the
+// block C (m x n) from the left: C := H C.
+void apply_reflector(const double* v, double tau, MatrixView c) {
+  if (tau == 0.0) return;
+  const index_t m = c.rows, n = c.cols;
+  flops::add(static_cast<std::uint64_t>(4) * m * n);
+  for (index_t j = 0; j < n; ++j) {
+    double s = c(0, j);
+    for (index_t i = 1; i < m; ++i) s += v[i] * c(i, j);
+    s *= tau;
+    c(0, j) -= s;
+    for (index_t i = 1; i < m; ++i) c(i, j) -= v[i] * s;
+  }
+}
+
+}  // namespace
+
+QrResult qr(ConstMatrixView a) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t k = std::min(m, n);
+  Matrix work = Matrix::from_view(a);
+  std::vector<double> tau(static_cast<std::size_t>(k), 0.0);
+
+  for (index_t j = 0; j < k; ++j) {
+    MatrixView col = work.block(j, j, m - j, 1);
+    auto refl = make_reflector(col.data, m - j);
+    tau[static_cast<std::size_t>(j)] = refl.tau;
+    const double beta = refl.beta;
+    if (j + 1 < n)
+      apply_reflector(col.data, refl.tau, work.block(j, j + 1, m - j, n - j - 1));
+    work(j, j) = beta;  // R diagonal; v is stored below
+  }
+
+  QrResult out;
+  out.r = Matrix(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) out.r(i, j) = work(i, j);
+
+  // Accumulate Q = H_0 ... H_{k-1} applied to the first k columns of I,
+  // by applying reflectors in reverse order.
+  out.q = Matrix(m, k);
+  for (index_t j = 0; j < k; ++j) out.q(j, j) = 1.0;
+  for (index_t j = k - 1; j >= 0; --j) {
+    // Reflector j acts on rows [j, m).
+    std::vector<double> v(static_cast<std::size_t>(m - j));
+    v[0] = 1.0;
+    for (index_t i = 1; i < m - j; ++i) v[static_cast<std::size_t>(i)] = work(j + i, j);
+    apply_reflector(v.data(), tau[static_cast<std::size_t>(j)],
+                    out.q.block(j, j, m - j, k - j));
+  }
+  return out;
+}
+
+PivotedQrResult pivoted_qr(ConstMatrixView a, index_t max_rank, double tol) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kmax = std::min({m, n, std::max<index_t>(max_rank, 0)});
+  Matrix work = Matrix::from_view(a);
+
+  PivotedQrResult out;
+  out.perm.resize(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) out.perm[static_cast<std::size_t>(j)] = j;
+
+  std::vector<double> tau;
+  tau.reserve(static_cast<std::size_t>(kmax));
+  // Trailing column norms, downdated LAPACK dgeqp3-style: keep the norm when
+  // it was last recomputed exactly, and recompute when the accumulated
+  // downdates could be dominated by cancellation.
+  std::vector<double> colnorm(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> colnorm_ref(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < m; ++i) s += work(i, j) * work(i, j);
+    colnorm[static_cast<std::size_t>(j)] = std::sqrt(s);
+    colnorm_ref[static_cast<std::size_t>(j)] = colnorm[static_cast<std::size_t>(j)];
+  }
+
+  index_t k = 0;
+  for (; k < kmax; ++k) {
+    // Pivot: column with the largest remaining norm.
+    index_t p = k;
+    for (index_t j = k + 1; j < n; ++j)
+      if (colnorm[static_cast<std::size_t>(j)] > colnorm[static_cast<std::size_t>(p)])
+        p = j;
+    if (colnorm[static_cast<std::size_t>(p)] <= tol) break;
+    if (p != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(work(i, k), work(i, p));
+      std::swap(colnorm[static_cast<std::size_t>(k)], colnorm[static_cast<std::size_t>(p)]);
+      std::swap(colnorm_ref[static_cast<std::size_t>(k)], colnorm_ref[static_cast<std::size_t>(p)]);
+      std::swap(out.perm[static_cast<std::size_t>(k)], out.perm[static_cast<std::size_t>(p)]);
+    }
+
+    MatrixView col = work.block(k, k, m - k, 1);
+    auto refl = make_reflector(col.data, m - k);
+    tau.push_back(refl.tau);
+    if (k + 1 < n)
+      apply_reflector(col.data, refl.tau, work.block(k, k + 1, m - k, n - k - 1));
+    work(k, k) = refl.beta;
+
+    for (index_t j = k + 1; j < n; ++j) {
+      auto& cn = colnorm[static_cast<std::size_t>(j)];
+      if (cn == 0.0) continue;
+      double temp = std::abs(work(k, j)) / cn;
+      temp = std::max(0.0, (1.0 + temp) * (1.0 - temp));
+      const double ratio = cn / colnorm_ref[static_cast<std::size_t>(j)];
+      // When the downdated norm has lost ~half the mantissa relative to the
+      // reference norm, recompute it exactly from the trailing rows.
+      if (temp * ratio * ratio <= 1e-14) {
+        double s = 0.0;
+        for (index_t i = k + 1; i < m; ++i) s += work(i, j) * work(i, j);
+        cn = std::sqrt(s);
+        colnorm_ref[static_cast<std::size_t>(j)] = cn;
+      } else {
+        cn *= std::sqrt(temp);
+      }
+    }
+  }
+  out.rank = k;
+
+  out.r = Matrix(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) out.r(i, j) = work(i, j);
+
+  out.q = Matrix(m, k);
+  for (index_t j = 0; j < k; ++j) out.q(j, j) = 1.0;
+  for (index_t j = k - 1; j >= 0; --j) {
+    std::vector<double> v(static_cast<std::size_t>(m - j));
+    v[0] = 1.0;
+    for (index_t i = 1; i < m - j; ++i) v[static_cast<std::size_t>(i)] = work(j + i, j);
+    apply_reflector(v.data(), tau[static_cast<std::size_t>(j)],
+                    out.q.block(j, j, m - j, k - j));
+  }
+  return out;
+}
+
+Matrix orth_complement(ConstMatrixView u) {
+  const index_t m = u.rows, k = u.cols;
+  HATRIX_CHECK(k <= m, "orth_complement: more columns than rows");
+  if (k == 0) return Matrix::identity(m);
+
+  // Householder-factorize U; the full Q's trailing m-k columns span the
+  // complement of col(U) because U = Q[:, :k] R.
+  Matrix work = Matrix::from_view(u);
+  std::vector<double> tau(static_cast<std::size_t>(k), 0.0);
+  for (index_t j = 0; j < k; ++j) {
+    MatrixView col = work.block(j, j, m - j, 1);
+    auto refl = make_reflector(col.data, m - j);
+    tau[static_cast<std::size_t>(j)] = refl.tau;
+    if (j + 1 < k)
+      apply_reflector(col.data, refl.tau, work.block(j, j + 1, m - j, k - j - 1));
+    work(j, j) = refl.beta;
+  }
+
+  // Apply H_0 ... H_{k-1} to the identity columns k..m.
+  Matrix q(m, m - k);
+  for (index_t j = 0; j < m - k; ++j) q(k + j, j) = 1.0;
+  for (index_t j = k - 1; j >= 0; --j) {
+    std::vector<double> v(static_cast<std::size_t>(m - j));
+    v[0] = 1.0;
+    for (index_t i = 1; i < m - j; ++i) v[static_cast<std::size_t>(i)] = work(j + i, j);
+    apply_reflector(v.data(), tau[static_cast<std::size_t>(j)],
+                    q.block(j, 0, m - j, m - k));
+  }
+  return q;
+}
+
+}  // namespace hatrix::la

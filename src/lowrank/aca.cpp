@@ -1,0 +1,95 @@
+#include "lowrank/aca.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+
+namespace hatrix::lr {
+
+LowRank aca(const EntryFn& entry, index_t rows, index_t cols, index_t max_rank,
+            double tol) {
+  HATRIX_CHECK(rows >= 0 && cols >= 0, "aca negative dimensions");
+  max_rank = std::min({max_rank, rows, cols});
+
+  std::vector<std::vector<double>> us, vs;  // rank-1 terms
+  std::vector<bool> row_used(static_cast<std::size_t>(rows), false);
+  std::vector<bool> col_used(static_cast<std::size_t>(cols), false);
+
+  double approx_norm2 = 0.0;  // ||A_k||_F^2 accumulated incrementally
+  index_t next_row = 0;
+
+  for (index_t k = 0; k < max_rank; ++k) {
+    // Row of the residual at the pivot row.
+    std::vector<double> row(static_cast<std::size_t>(cols));
+    for (index_t j = 0; j < cols; ++j) {
+      double r = entry(next_row, j);
+      for (std::size_t t = 0; t < us.size(); ++t)
+        r -= us[t][static_cast<std::size_t>(next_row)] * vs[t][static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(j)] = r;
+    }
+    flops::add(static_cast<std::uint64_t>(2) * cols * us.size());
+
+    // Column pivot: largest residual entry in this row among unused columns.
+    index_t pj = -1;
+    double best = 0.0;
+    for (index_t j = 0; j < cols; ++j) {
+      if (col_used[static_cast<std::size_t>(j)]) continue;
+      if (std::abs(row[static_cast<std::size_t>(j)]) > best) {
+        best = std::abs(row[static_cast<std::size_t>(j)]);
+        pj = j;
+      }
+    }
+    if (pj < 0 || best == 0.0) break;
+    const double pivot = row[static_cast<std::size_t>(pj)];
+
+    // Column of the residual at the pivot column, scaled by 1/pivot.
+    std::vector<double> col(static_cast<std::size_t>(rows));
+    for (index_t i = 0; i < rows; ++i) {
+      double r = entry(i, pj);
+      for (std::size_t t = 0; t < us.size(); ++t)
+        r -= us[t][static_cast<std::size_t>(i)] * vs[t][static_cast<std::size_t>(pj)];
+      col[static_cast<std::size_t>(i)] = r / pivot;
+    }
+    flops::add(static_cast<std::uint64_t>(2) * rows * us.size());
+
+    row_used[static_cast<std::size_t>(next_row)] = true;
+    col_used[static_cast<std::size_t>(pj)] = true;
+
+    // Convergence: ||u_k v_kᵀ||_F vs the running approximation norm.
+    double nu = 0.0, nv = 0.0;
+    for (double x : col) nu += x * x;
+    for (double x : row) nv += x * x;
+    const double term_norm2 = nu * nv;
+    approx_norm2 += term_norm2;  // cross terms omitted: standard ACA heuristic
+
+    us.push_back(std::move(col));
+    vs.push_back(std::move(row));
+
+    if (tol > 0.0 && term_norm2 <= tol * tol * approx_norm2) break;
+
+    // Next row pivot: largest entry of u_k among unused rows.
+    index_t pi = -1;
+    double bestu = -1.0;
+    for (index_t i = 0; i < rows; ++i) {
+      if (row_used[static_cast<std::size_t>(i)]) continue;
+      if (std::abs(us.back()[static_cast<std::size_t>(i)]) > bestu) {
+        bestu = std::abs(us.back()[static_cast<std::size_t>(i)]);
+        pi = i;
+      }
+    }
+    if (pi < 0) break;
+    next_row = pi;
+  }
+
+  const index_t k = static_cast<index_t>(us.size());
+  Matrix u(rows, k), v(cols, k);
+  for (index_t t = 0; t < k; ++t) {
+    for (index_t i = 0; i < rows; ++i) u(i, t) = us[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < cols; ++j) v(j, t) = vs[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)];
+  }
+  return LowRank(std::move(u), std::move(v));
+}
+
+}  // namespace hatrix::lr

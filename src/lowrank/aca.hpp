@@ -1,0 +1,26 @@
+#pragma once
+/// \file aca.hpp
+/// \brief Adaptive Cross Approximation (ACA) with partial pivoting.
+///
+/// Matrix-free compressor: builds a low-rank approximation of a block from
+/// O((m+n)·k) entry evaluations instead of the full m·n block. This is the
+/// compression algorithm the paper cites alongside RSVD (Rjasanow 2002) and
+/// is the workhorse of the matrix-free HSS builder for far-field blocks.
+
+#include <functional>
+
+#include "lowrank/lowrank.hpp"
+
+namespace hatrix::lr {
+
+/// Entry generator for the (i, j) element of the virtual block.
+using EntryFn = std::function<double(index_t, index_t)>;
+
+/// ACA with partial pivoting. Stops when the rank-1 update's Frobenius
+/// contribution falls below tol times the running approximation norm, or at
+/// max_rank. Suitable for asymptotically smooth kernels; not guaranteed for
+/// arbitrary matrices (use compress() on an explicit block then).
+LowRank aca(const EntryFn& entry, index_t rows, index_t cols, index_t max_rank,
+            double tol);
+
+}  // namespace hatrix::lr

@@ -1,0 +1,33 @@
+#pragma once
+/// \file compress.hpp
+/// \brief Dense-block compressors and rounded low-rank arithmetic.
+///
+/// `compress` (truncated pivoted QR) is the paper's compression primitive
+/// (Eq. 2); `truncated_svd` gives optimal truncation for recompression;
+/// `lr_add_round` is the rounded addition the BLR Cholesky (LORAPO baseline)
+/// uses to keep ranks bounded during Schur updates.
+
+#include "lowrank/lowrank.hpp"
+
+namespace hatrix::lr {
+
+/// Truncated pivoted-QR compression: A ≈ U·Vᵀ with rank ≤ max_rank and
+/// remaining column norm ≤ tol·||A||_F (relative tolerance; tol = 0 means
+/// rank-only truncation). U has orthonormal columns.
+LowRank compress(la::ConstMatrixView a, index_t max_rank, double tol = 0.0);
+
+/// SVD-based optimal truncation: keeps singular values > tol·s_max, capped
+/// at max_rank. Singular values are folded into V.
+LowRank truncated_svd(la::ConstMatrixView a, index_t max_rank, double tol = 0.0);
+
+/// Recompress an existing low-rank block to a (possibly) smaller rank using
+/// QR of both factors followed by an SVD of the small core.
+LowRank recompress(const LowRank& a, index_t max_rank, double tol = 0.0);
+
+/// Rounded addition: alpha*A + beta*B for low-rank A, B, recompressed to
+/// max_rank/tol. The exact sum has rank(A)+rank(B); rounding keeps storage
+/// and flops bounded.
+LowRank lr_add_round(double alpha, const LowRank& a, double beta, const LowRank& b,
+                     index_t max_rank, double tol = 0.0);
+
+}  // namespace hatrix::lr

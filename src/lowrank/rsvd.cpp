@@ -1,0 +1,35 @@
+#include "lowrank/rsvd.hpp"
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "lowrank/compress.hpp"
+
+namespace hatrix::lr {
+
+LowRank rsvd(la::ConstMatrixView a, index_t rank, Rng& rng, index_t oversample,
+             int power_iters) {
+  const index_t n = a.cols;
+  const index_t l = std::min(n, rank + oversample);
+
+  // Sketch the range: Y = A Omega, orthonormalize.
+  Matrix omega = Matrix::random_normal(rng, n, l);
+  Matrix y = la::matmul(a, omega.view());
+  auto qy = la::qr(y.view());
+
+  // Power iterations sharpen the subspace for flat spectra.
+  for (int it = 0; it < power_iters; ++it) {
+    Matrix z = la::matmul(a, qy.q.view(), la::Trans::Yes, la::Trans::No);
+    auto qz = la::qr(z.view());
+    Matrix w = la::matmul(a, qz.q.view());
+    qy = la::qr(w.view());
+  }
+
+  // B = Qᵀ A (l x n); SVD of the small B gives the final factors.
+  Matrix b = la::matmul(qy.q.view(), a, la::Trans::Yes, la::Trans::No);
+  LowRank small = truncated_svd(b.view(), rank, 0.0);
+  return LowRank(la::matmul(qy.q.view(), small.u.view()), std::move(small.v));
+}
+
+}  // namespace hatrix::lr

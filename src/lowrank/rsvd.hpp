@@ -1,0 +1,20 @@
+#pragma once
+/// \file rsvd.hpp
+/// \brief Randomized SVD compression (Halko-Martinsson-Tropp sketch).
+///
+/// The second compression algorithm the paper cites. Works from matvec-style
+/// access: sample Y = A·Ω, orthonormalize, project. Used in tests as an
+/// alternative compressor and by the HSS builder's randomized path.
+
+#include "common/rng.hpp"
+#include "lowrank/lowrank.hpp"
+
+namespace hatrix::lr {
+
+/// Randomized low-rank factorization of an explicit block: rank `rank` plus
+/// `oversample` extra sample vectors, `power_iters` subspace iterations for
+/// slowly-decaying spectra. The result is truncated back to `rank`.
+LowRank rsvd(la::ConstMatrixView a, index_t rank, Rng& rng, index_t oversample = 8,
+             int power_iters = 1);
+
+}  // namespace hatrix::lr

@@ -1,0 +1,33 @@
+#pragma once
+/// \file fork_join_executor.hpp
+/// \brief Bulk-synchronous (fork-join) executor — the STRUMPACK model.
+///
+/// Tasks are grouped by their `phase` tag (the HSS level) and every phase is
+/// separated by a barrier: no task of phase p+1 may start until every task
+/// of phase p finished, even if its own dependencies were already satisfied.
+/// This is precisely the execution model the paper contrasts against the
+/// asynchronous runtime (Sec. 4.2, Sec. 5.2) — the merge step stalls on the
+/// barrier instead of firing as soon as its two children are done.
+
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace hatrix::rt {
+
+class ForkJoinExecutor {
+ public:
+  explicit ForkJoinExecutor(int num_workers = 1);
+
+  /// Run phases in ascending order with a barrier after each. Dependencies
+  /// inside a phase are respected; dependencies that point to a *later*
+  /// phase are satisfied by the barrier construction. Throws if the graph
+  /// has a dependency from a later phase back into an earlier one.
+  ExecutionStats run(const TaskGraph& graph);
+
+  [[nodiscard]] int num_workers() const { return num_workers_; }
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace hatrix::rt

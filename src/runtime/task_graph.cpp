@@ -1,0 +1,93 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+
+namespace hatrix::rt {
+
+DataId TaskGraph::register_data(std::string name, std::int64_t bytes, int owner) {
+  const DataId id = static_cast<DataId>(data_.size());
+  data_.push_back({id, std::move(name), bytes, owner});
+  state_.emplace_back();
+  return id;
+}
+
+void TaskGraph::set_owner(DataId d, int owner) {
+  HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()), "bad data id");
+  data_[static_cast<std::size_t>(d)].owner = owner;
+}
+
+void TaskGraph::set_bytes(DataId d, std::int64_t bytes) {
+  HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()), "bad data id");
+  data_[static_cast<std::size_t>(d)].bytes = bytes;
+}
+
+const DataHandle& TaskGraph::data(DataId d) const {
+  HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()), "bad data id");
+  return data_[static_cast<std::size_t>(d)];
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (from < 0 || from == to) return;
+  auto& s = succ_[static_cast<std::size_t>(from)];
+  if (std::find(s.begin(), s.end(), to) != s.end()) return;  // dedupe
+  s.push_back(to);
+  ++in_degree_[static_cast<std::size_t>(to)];
+  ++num_edges_;
+}
+
+TaskId TaskGraph::insert_task(Task t) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  t.id = id;
+  succ_.emplace_back();
+  in_degree_.push_back(0);
+
+  for (const auto& [d, mode] : t.accesses) {
+    HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()),
+                 "task accesses unregistered data");
+    auto& st = state_[static_cast<std::size_t>(d)];
+    if (mode == Access::Read) {
+      add_edge(st.last_writer, id);  // read-after-write
+      st.readers_since_write.push_back(id);
+    } else {
+      add_edge(st.last_writer, id);  // write-after-write
+      for (TaskId r : st.readers_since_write) add_edge(r, id);  // write-after-read
+      st.last_writer = id;
+      st.readers_since_write.clear();
+    }
+  }
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+TaskId TaskGraph::insert_task(std::string name, std::string kind,
+                              std::vector<std::int64_t> dims,
+                              std::function<void()> work,
+                              std::vector<std::pair<DataId, Access>> accesses,
+                              int priority, int phase) {
+  Task t;
+  t.name = std::move(name);
+  t.kind = std::move(kind);
+  t.dims = std::move(dims);
+  t.work = std::move(work);
+  t.accesses = std::move(accesses);
+  t.priority = priority;
+  t.phase = phase;
+  return insert_task(std::move(t));
+}
+
+std::int64_t TaskGraph::critical_path_length() const {
+  // Tasks are inserted in a valid topological order (edges only point from
+  // earlier to later insertions), so one forward sweep suffices.
+  std::vector<std::int64_t> depth(tasks_.size(), 1);
+  std::int64_t best = tasks_.empty() ? 0 : 1;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    for (TaskId s : succ_[t]) {
+      auto& d = depth[static_cast<std::size_t>(s)];
+      d = std::max(d, depth[t] + 1);
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace hatrix::rt

@@ -1,0 +1,106 @@
+#pragma once
+/// \file task_graph.hpp
+/// \brief DTD-style task graph with dependencies inferred from data access.
+///
+/// Mirrors PaRSEC's Dynamic Task Discovery interface (Sec. 4.2): the program
+/// inserts tasks in sequential order, declaring which data each task reads
+/// or read-writes; the runtime derives the DAG from the access order
+/// (read-after-write, write-after-read, write-after-write). Every "process"
+/// in the paper's DTD discussion discovers this same full graph — the cost
+/// of that redundant discovery is what the overhead model in distsim
+/// charges.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hatrix::rt {
+
+using TaskId = std::int64_t;
+using DataId = std::int64_t;
+
+/// Access mode of one task-data pair (PaRSEC's INPUT vs INOUT).
+enum class Access { Read, ReadWrite };
+
+/// A registered piece of data (a matrix block). `bytes` feeds the
+/// communication model; `owner` is the process that holds the block under
+/// the chosen distribution.
+struct DataHandle {
+  DataId id = -1;
+  std::string name;
+  std::int64_t bytes = 0;
+  int owner = 0;
+};
+
+/// One node of the DAG.
+struct Task {
+  TaskId id = -1;
+  std::string name;            ///< display name, e.g. "POTRF(3)"
+  std::string kind;            ///< cost-model key, e.g. "potrf"
+  std::vector<std::int64_t> dims;  ///< cost-model dimensions (block sizes)
+  std::function<void()> work;  ///< actual computation; may be empty (DES-only)
+  std::vector<std::pair<DataId, Access>> accesses;
+  int priority = 0;  ///< larger runs earlier among ready tasks
+  int phase = 0;     ///< fork-join phase (HSS level, tile-Cholesky step)
+};
+
+/// DAG built by sequential task insertion, PaRSEC-DTD style.
+class TaskGraph {
+ public:
+  /// Register a data block. Returns its handle id.
+  DataId register_data(std::string name, std::int64_t bytes = 0, int owner = 0);
+
+  /// Reassign the owner process of a block (set by distribution policies).
+  void set_owner(DataId d, int owner);
+  void set_bytes(DataId d, std::int64_t bytes);
+
+  /// Insert a task; dependencies are derived from `accesses` against all
+  /// previously inserted tasks (last-writer / readers-barrier rules).
+  TaskId insert_task(Task t);
+
+  /// Convenience overload.
+  TaskId insert_task(std::string name, std::string kind,
+                     std::vector<std::int64_t> dims, std::function<void()> work,
+                     std::vector<std::pair<DataId, Access>> accesses,
+                     int priority = 0, int phase = 0);
+
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<DataHandle>& data() const { return data_; }
+  [[nodiscard]] const DataHandle& data(DataId d) const;
+
+  /// successors()[t] = tasks that must wait for t (deduplicated).
+  [[nodiscard]] const std::vector<std::vector<TaskId>>& successors() const {
+    return succ_;
+  }
+  /// Number of direct predecessors per task.
+  [[nodiscard]] const std::vector<int>& in_degree() const { return in_degree_; }
+
+  [[nodiscard]] std::int64_t num_tasks() const {
+    return static_cast<std::int64_t>(tasks_.size());
+  }
+  [[nodiscard]] std::int64_t num_edges() const { return num_edges_; }
+
+  /// Length (in tasks) of the longest chain — the unit-cost critical path.
+  [[nodiscard]] std::int64_t critical_path_length() const;
+
+ private:
+  void add_edge(TaskId from, TaskId to);
+
+  std::vector<Task> tasks_;
+  std::vector<DataHandle> data_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<int> in_degree_;
+  std::int64_t num_edges_ = 0;
+
+  // DTD bookkeeping per data block.
+  struct DataState {
+    TaskId last_writer = -1;
+    std::vector<TaskId> readers_since_write;
+  };
+  std::vector<DataState> state_;
+};
+
+}  // namespace hatrix::rt

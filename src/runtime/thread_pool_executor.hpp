@@ -1,0 +1,32 @@
+#pragma once
+/// \file thread_pool_executor.hpp
+/// \brief Asynchronous task-graph executor (the PaRSEC-style runtime).
+///
+/// Worker threads drain a priority-ordered ready queue; finishing a task
+/// releases its successors as soon as their last dependency clears — no
+/// barriers anywhere, which is exactly the property that lets HATRIX-DTD
+/// start a parent HSS level before the child level has fully finished
+/// (Sec. 4.2).
+
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace hatrix::rt {
+
+class ThreadPoolExecutor {
+ public:
+  /// `num_workers` worker threads (>= 1). The calling thread coordinates.
+  explicit ThreadPoolExecutor(int num_workers = 1);
+
+  /// Run every task in the graph respecting dependencies; returns the
+  /// execution statistics (trace + compute/overhead breakdown). Exceptions
+  /// thrown by task bodies are captured and rethrown after draining.
+  ExecutionStats run(const TaskGraph& graph);
+
+  [[nodiscard]] int num_workers() const { return num_workers_; }
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace hatrix::rt

@@ -1,0 +1,78 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hatrix::rt {
+
+std::string validate_trace(const TaskGraph& graph, const ExecutionStats& stats) {
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  std::vector<int> runs(n, 0);
+  std::vector<double> end_time(n, 0.0);
+  for (const auto& tr : stats.traces) {
+    if (tr.task < 0 || static_cast<std::size_t>(tr.task) >= n)
+      return "trace references unknown task " + std::to_string(tr.task);
+    ++runs[static_cast<std::size_t>(tr.task)];
+    end_time[static_cast<std::size_t>(tr.task)] = tr.end;
+    if (tr.end < tr.start) return "task " + std::to_string(tr.task) + " ends before it starts";
+  }
+  for (std::size_t t = 0; t < n; ++t)
+    if (runs[t] != 1)
+      return "task " + std::to_string(t) + " ran " + std::to_string(runs[t]) +
+             " times";
+
+  std::vector<double> start_time(n, 0.0);
+  for (const auto& tr : stats.traces)
+    start_time[static_cast<std::size_t>(tr.task)] = tr.start;
+  for (std::size_t t = 0; t < n; ++t) {
+    for (TaskId s : graph.successors()[t]) {
+      // Allow a small clock-resolution slack.
+      if (start_time[static_cast<std::size_t>(s)] + 1e-9 < end_time[t])
+        return "task " + std::to_string(s) + " started before predecessor " +
+               std::to_string(t) + " finished";
+    }
+  }
+  return "";
+}
+
+std::string to_chrome_trace(const TaskGraph& graph, const ExecutionStats& stats) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& tr : stats.traces) {
+    if (tr.task < 0) continue;
+    const Task& task = graph.tasks()[static_cast<std::size_t>(tr.task)];
+    if (!first) out << ",";
+    first = false;
+    // Durations in microseconds, as the trace-event format expects.
+    out << "{\"name\":\"" << task.name << "\",\"cat\":\"" << task.kind
+        << "\",\"ph\":\"X\",\"ts\":" << tr.start * 1e6
+        << ",\"dur\":" << tr.duration() * 1e6 << ",\"pid\":0,\"tid\":" << tr.worker
+        << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string to_dot(const TaskGraph& graph) {
+  // Stable colors per kind so POTRF/TRSM/... are visually grouped as in the
+  // paper's Fig. 6.
+  static const char* palette[] = {"lightblue", "lightgreen", "salmon",
+                                  "gold",      "plum",       "lightgray"};
+  std::map<std::string, const char*> color;
+  std::ostringstream out;
+  out << "digraph tasks {\n  rankdir=TB;\n";
+  for (const auto& t : graph.tasks()) {
+    if (color.find(t.kind) == color.end())
+      color[t.kind] = palette[color.size() % 6];
+    out << "  t" << t.id << " [label=\"" << (t.name.empty() ? t.kind : t.name)
+        << "\",style=filled,fillcolor=" << color[t.kind] << "];\n";
+  }
+  for (std::size_t u = 0; u < graph.tasks().size(); ++u)
+    for (TaskId s : graph.successors()[u]) out << "  t" << u << " -> t" << s << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hatrix::rt

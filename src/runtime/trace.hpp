@@ -1,0 +1,61 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Execution traces and the compute/overhead breakdown of Fig. 10.
+///
+/// Both executors record one record per task (who ran it, when). The
+/// aggregate statistics reproduce the paper's instrumentation: "COMPUTE TASK
+/// TIME" is per-worker time inside task bodies; "RUNTIME OVERHEAD" is
+/// everything else the worker spent while the executor was live (scheduling,
+/// queue contention, dependency management, idling on unmet dependencies).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace hatrix::rt {
+
+/// Timing record for one executed task (seconds relative to executor start).
+struct TaskTrace {
+  TaskId task = -1;
+  int worker = -1;
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const { return end - start; }
+};
+
+/// Aggregate execution statistics.
+struct ExecutionStats {
+  double wall_time = 0.0;            ///< executor start to last task end
+  int workers = 0;
+  double compute_total = 0.0;        ///< sum of task durations over all workers
+  double overhead_total = 0.0;       ///< workers*wall - compute
+  std::vector<TaskTrace> traces;
+
+  /// Average per-worker compute time (the paper's "COMPUTE TASK TIME").
+  [[nodiscard]] double compute_per_worker() const {
+    return workers > 0 ? compute_total / workers : 0.0;
+  }
+  /// Average per-worker overhead (the paper's "RUNTIME OVERHEAD").
+  [[nodiscard]] double overhead_per_worker() const {
+    return workers > 0 ? overhead_total / workers : 0.0;
+  }
+};
+
+/// Validate a trace against the graph: every task ran exactly once and no
+/// task started before all of its predecessors ended. Returns an empty
+/// string when consistent, else a description of the first violation.
+std::string validate_trace(const TaskGraph& graph, const ExecutionStats& stats);
+
+/// Export a trace as Chrome/Perfetto trace-event JSON (open in
+/// chrome://tracing or ui.perfetto.dev): one row per worker, one slice per
+/// task.
+std::string to_chrome_trace(const TaskGraph& graph, const ExecutionStats& stats);
+
+/// Export the DAG as Graphviz DOT (tasks colored by kind) for inspection of
+/// small graphs — the Fig. 6 / Fig. 8 pictures, generated from real graphs.
+std::string to_dot(const TaskGraph& graph);
+
+}  // namespace hatrix::rt

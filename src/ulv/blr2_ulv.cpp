@@ -1,0 +1,108 @@
+#include "ulv/blr2_ulv.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hatrix::ulv {
+
+BLR2ULV::BLR2ULV(const fmt::BLR2Matrix& a, std::vector<NodeFactor> factors,
+                 Matrix merged_l)
+    : a_(&a), factors_(std::move(factors)), merged_l_(std::move(merged_l)) {
+  const index_t p = a.num_blocks();
+  skel_offset_.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (index_t i = 0; i < p; ++i)
+    skel_offset_[static_cast<std::size_t>(i) + 1] =
+        skel_offset_[static_cast<std::size_t>(i)] + a.node(i).rank;
+}
+
+BLR2ULV BLR2ULV::factorize(const fmt::BLR2Matrix& a) {
+  BLR2ULV out;
+  out.a_ = &a;
+  const index_t p = a.num_blocks();
+  out.factors_.resize(static_cast<std::size_t>(p));
+  out.skel_offset_.assign(static_cast<std::size_t>(p) + 1, 0);
+
+  // Per-block diagonal product + partial factorization (lines 1-2 of Alg. 1).
+  std::vector<Matrix> schur(static_cast<std::size_t>(p));
+  for (index_t i = 0; i < p; ++i) {
+    const auto& nd = a.node(i);
+    auto res = partial_factor(nd.diag.view(), nd.basis.view());
+    out.factors_[static_cast<std::size_t>(i)] = std::move(res.factor);
+    schur[static_cast<std::size_t>(i)] = std::move(res.ss_schur);
+    out.skel_offset_[static_cast<std::size_t>(i) + 1] =
+        out.skel_offset_[static_cast<std::size_t>(i)] + nd.rank;
+  }
+
+  // Merge (permute) all skeleton blocks into one dense matrix (line 3,
+  // Fig. 4) and Cholesky-factorize it.
+  const index_t total = out.skel_offset_[static_cast<std::size_t>(p)];
+  Matrix merged(total, total);
+  for (index_t i = 0; i < p; ++i) {
+    const index_t oi = out.skel_offset_[static_cast<std::size_t>(i)];
+    const index_t ki = a.node(i).rank;
+    if (ki > 0)
+      la::copy(schur[static_cast<std::size_t>(i)].view(), merged.block(oi, oi, ki, ki));
+    for (index_t j = 0; j < i; ++j) {
+      const index_t oj = out.skel_offset_[static_cast<std::size_t>(j)];
+      const index_t kj = a.node(j).rank;
+      if (ki == 0 || kj == 0) continue;
+      const Matrix& s = a.coupling(i, j);
+      la::copy(s.view(), merged.block(oi, oj, ki, kj));
+      Matrix st = la::transpose(s.view());
+      la::copy(st.view(), merged.block(oj, oi, kj, ki));
+    }
+  }
+  la::potrf(merged.view());
+  out.merged_l_ = std::move(merged);
+  return out;
+}
+
+std::vector<double> BLR2ULV::solve(const std::vector<double>& b) const {
+  const fmt::BLR2Matrix& a = *a_;
+  const index_t n = a.size(), p = a.num_blocks();
+  HATRIX_CHECK(static_cast<index_t>(b.size()) == n, "solve: rhs length mismatch");
+
+  // Forward: per-block rotate + eliminate; gather skeleton RHS.
+  std::vector<NodeForward> fwd(static_cast<std::size_t>(p));
+  const index_t total = skel_offset_[static_cast<std::size_t>(p)];
+  std::vector<double> z(static_cast<std::size_t>(total), 0.0);
+  for (index_t i = 0; i < p; ++i) {
+    const auto& nd = a.node(i);
+    fwd[static_cast<std::size_t>(i)] = forward_step(
+        factors_[static_cast<std::size_t>(i)], nd.basis.view(), b.data() + nd.begin);
+    const auto& zs = fwd[static_cast<std::size_t>(i)].z_s;
+    std::copy(zs.begin(), zs.end(),
+              z.begin() + skel_offset_[static_cast<std::size_t>(i)]);
+  }
+
+  // Coupled skeleton solve.
+  if (total > 0) {
+    la::MatrixView zv{z.data(), total, 1, total};
+    la::potrs(merged_l_.view(), zv);
+  }
+
+  // Backward: reconstruct block-local solutions.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < p; ++i) {
+    const auto& nd = a.node(i);
+    std::vector<double> xs(
+        z.begin() + skel_offset_[static_cast<std::size_t>(i)],
+        z.begin() + skel_offset_[static_cast<std::size_t>(i) + 1]);
+    std::vector<double> xl =
+        backward_step(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
+                      fwd[static_cast<std::size_t>(i)], xs);
+    for (index_t r = 0; r < nd.block_size(); ++r)
+      x[static_cast<std::size_t>(nd.begin + r)] = xl[static_cast<std::size_t>(r)];
+  }
+  return x;
+}
+
+std::int64_t BLR2ULV::memory_bytes() const {
+  std::int64_t total = merged_l_.bytes();
+  for (const auto& f : factors_)
+    total += f.q_comp.bytes() + f.l_rr.bytes() + f.l_sr.bytes();
+  return total;
+}
+
+}  // namespace hatrix::ulv

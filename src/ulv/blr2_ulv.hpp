@@ -1,0 +1,43 @@
+#pragma once
+/// \file blr2_ulv.hpp
+/// \brief BLR²-ULV factorization with weak admissibility (Alg. 1, Eq. 14-15).
+///
+/// Single-level variant of the ULV: every block's diagonal is rotated and
+/// partially factorized, then the merge step permutes all skeleton blocks
+/// into one dense matrix of size (Σ rank) which gets a plain Cholesky
+/// (Fig. 4). This is the per-level building block of the HSS-ULV; it is also
+/// where the O(N^2) cost of stopping at one level shows (Sec. 3.1),
+/// motivating the multi-level HSS-ULV.
+
+#include <vector>
+
+#include "format/blr2.hpp"
+#include "ulv/ulv_common.hpp"
+
+namespace hatrix::ulv {
+
+/// Factored form of an SPD BLR² matrix.
+class BLR2ULV {
+ public:
+  BLR2ULV() = default;
+
+  /// Assemble from externally computed pieces (the task-based path).
+  BLR2ULV(const fmt::BLR2Matrix& a, std::vector<NodeFactor> factors,
+          Matrix merged_l);
+
+  /// Factorize; throws hatrix::Error if not positive definite.
+  static BLR2ULV factorize(const fmt::BLR2Matrix& a);
+
+  /// Solve A x = b (Eq. 15).
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  [[nodiscard]] std::int64_t memory_bytes() const;
+
+ private:
+  const fmt::BLR2Matrix* a_ = nullptr;
+  std::vector<NodeFactor> factors_;
+  std::vector<index_t> skel_offset_;  ///< prefix sum of ranks into the merge
+  Matrix merged_l_;                   ///< Cholesky factor of the merged block
+};
+
+}  // namespace hatrix::ulv

@@ -1,0 +1,182 @@
+#include "ulv/hss_solve_tasks.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hatrix::ulv {
+
+HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& b,
+                               rt::TaskGraph& graph) {
+  const fmt::HSSMatrix& a = factor.matrix();
+  const index_t n = a.size();
+  HATRIX_CHECK(static_cast<index_t>(b.size()) == n, "solve dag: rhs length mismatch");
+  const int L = a.max_level();
+
+  HSSSolveDag dag;
+  dag.state = std::make_shared<HSSSolveTaskState>();
+  auto& st = *dag.state;
+  st.a = &a;
+  st.factor = &factor;
+  st.rhs.resize(static_cast<std::size_t>(L) + 1);
+  st.fwd.resize(static_cast<std::size_t>(L) + 1);
+  st.sol.resize(static_cast<std::size_t>(L) + 1);
+  st.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l <= L; ++l) {
+    st.rhs[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
+    st.fwd[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
+    st.sol[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
+  }
+
+  // Data handles per node: the local RHS (written by gather), the forward
+  // result, and the local solution.
+  std::vector<std::vector<rt::DataId>> rhs_d(static_cast<std::size_t>(L) + 1);
+  std::vector<std::vector<rt::DataId>> fwd_d(static_cast<std::size_t>(L) + 1);
+  std::vector<std::vector<rt::DataId>> sol_d(static_cast<std::size_t>(L) + 1);
+  for (int l = 0; l <= L; ++l) {
+    for (index_t i = 0; i < a.num_nodes(l); ++i) {
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
+      const index_t k = a.node(l, i).rank;
+      rhs_d[static_cast<std::size_t>(l)].push_back(
+          graph.register_data("rhs" + tag, 8 * std::max<index_t>(k, 1)));
+      fwd_d[static_cast<std::size_t>(l)].push_back(
+          graph.register_data("fwd" + tag, 8 * std::max<index_t>(k, 1)));
+      sol_d[static_cast<std::size_t>(l)].push_back(
+          graph.register_data("sol" + tag, 8 * std::max<index_t>(k, 1)));
+    }
+  }
+
+  auto stp = dag.state;
+
+  if (L == 0) {
+    graph.insert_task(
+        "ROOT_SOLVE", "potrs", {n},
+        [stp, b] {
+          stp->x = b;
+          la::MatrixView xv{stp->x.data(), static_cast<index_t>(stp->x.size()), 1,
+                            static_cast<index_t>(stp->x.size())};
+          la::potrs(stp->factor->root_factor().view(), xv);
+        },
+        {{sol_d[0][0], rt::Access::ReadWrite}}, 0, 0);
+    return dag;
+  }
+
+  // Seed leaf RHS segments.
+  for (index_t i = 0; i < a.num_nodes(L); ++i) {
+    const auto& nd = a.node(L, i);
+    st.rhs[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)]
+        .assign(b.begin() + nd.begin, b.begin() + nd.end);
+  }
+
+  // Forward sweep + gathers, leaves to root.
+  for (int l = L; l >= 1; --l) {
+    const int phase = L - l;
+    for (index_t i = 0; i < a.num_nodes(l); ++i) {
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
+      const int li = l;
+      const index_t ii = i;
+      const auto& f = factor.factor(l, i);
+      graph.insert_task(
+          "FORWARD" + tag, "fwd_solve", {f.m, f.k},
+          [stp, li, ii] {
+            auto& lvl_rhs = stp->rhs[static_cast<std::size_t>(li)];
+            stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
+                forward_step(stp->factor->factor(li, ii),
+                             stp->a->node(li, ii).basis.view(),
+                             lvl_rhs[static_cast<std::size_t>(ii)].data());
+          },
+          {{rhs_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::Read},
+           {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::ReadWrite}},
+          l, phase);
+    }
+    for (index_t t = 0; t < a.num_pairs(l); ++t) {
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(t) + ")";
+      const int li = l;
+      const index_t tt = t;
+      graph.insert_task(
+          "GATHER" + tag, "gather",
+          {a.node(l, 2 * t).rank, a.node(l, 2 * t + 1).rank},
+          [stp, li, tt] {
+            const auto& z0 =
+                stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(2 * tt)].z_s;
+            const auto& z1 =
+                stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(2 * tt + 1)].z_s;
+            auto& up = stp->rhs[static_cast<std::size_t>(li) - 1][static_cast<std::size_t>(tt)];
+            up.clear();
+            up.insert(up.end(), z0.begin(), z0.end());
+            up.insert(up.end(), z1.begin(), z1.end());
+          },
+          {{fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)],
+            rt::Access::Read},
+           {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t + 1)],
+            rt::Access::Read},
+           {rhs_d[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(t)],
+            rt::Access::ReadWrite}},
+          l, phase);
+    }
+  }
+
+  // Root dense solve.
+  graph.insert_task(
+      "ROOT_SOLVE", "potrs", {a.node(1, 0).rank + a.node(1, 1).rank},
+      [stp] {
+        auto& z = stp->rhs[0][0];
+        stp->sol[0][0] = z;
+        if (!stp->sol[0][0].empty()) {
+          la::MatrixView xv{stp->sol[0][0].data(),
+                            static_cast<index_t>(stp->sol[0][0].size()), 1,
+                            static_cast<index_t>(stp->sol[0][0].size())};
+          la::potrs(stp->factor->root_factor().view(), xv);
+        }
+      },
+      {{rhs_d[0][0], rt::Access::Read}, {sol_d[0][0], rt::Access::ReadWrite}}, 0, L);
+
+  // Backward sweep, root to leaves.
+  for (int l = 1; l <= L; ++l) {
+    const int phase = L + l;
+    for (index_t i = 0; i < a.num_nodes(l); ++i) {
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
+      const int li = l;
+      const index_t ii = i;
+      const auto& f = factor.factor(l, i);
+      graph.insert_task(
+          "BACKWARD" + tag, "bwd_solve", {f.m, f.k},
+          [stp, li, ii] {
+            const auto& parent = stp->sol[static_cast<std::size_t>(li) - 1]
+                                         [static_cast<std::size_t>(ii / 2)];
+            const index_t k0 = stp->a->node(li, (ii / 2) * 2).rank;
+            const auto& fac = stp->factor->factor(li, ii);
+            std::vector<double> xs =
+                (ii % 2 == 0)
+                    ? std::vector<double>(parent.begin(), parent.begin() + fac.k)
+                    : std::vector<double>(parent.begin() + k0, parent.end());
+            stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
+                backward_step(fac, stp->a->node(li, ii).basis.view(),
+                              stp->fwd[static_cast<std::size_t>(li)]
+                                      [static_cast<std::size_t>(ii)],
+                              xs);
+            // Leaves write their segment of the global solution.
+            if (li == stp->a->max_level()) {
+              const auto& nd = stp->a->node(li, ii);
+              const auto& xl =
+                  stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)];
+              for (index_t r = 0; r < nd.block_size(); ++r)
+                stp->x[static_cast<std::size_t>(nd.begin + r)] =
+                    xl[static_cast<std::size_t>(r)];
+            }
+          },
+          {{sol_d[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(i / 2)],
+            rt::Access::Read},
+           {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::Read},
+           {sol_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::ReadWrite}},
+          -l, phase);
+    }
+  }
+  return dag;
+}
+
+}  // namespace hatrix::ulv

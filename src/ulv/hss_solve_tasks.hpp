@@ -1,0 +1,38 @@
+#pragma once
+/// \file hss_solve_tasks.hpp
+/// \brief The HSS-ULV solve (Eq. 17) expressed as a task graph.
+///
+/// The solve has the same level-parallel structure as the factorization:
+/// per node, FORWARD(l,i) rotates and eliminates the local RHS; the two
+/// children's skeleton RHS pieces merge into the parent (GATHER); after the
+/// dense root solve, SCATTER/BACKWARD walk back down. Dependencies again
+/// only cross levels through the gather/scatter, so an asynchronous runtime
+/// overlaps the sweeps of independent subtrees.
+
+#include <memory>
+
+#include "runtime/task_graph.hpp"
+#include "ulv/hss_ulv.hpp"
+
+namespace hatrix::ulv {
+
+/// Mutable state shared by the solve task closures.
+struct HSSSolveTaskState {
+  const fmt::HSSMatrix* a = nullptr;
+  const HSSULV* factor = nullptr;
+  std::vector<std::vector<std::vector<double>>> rhs;   // [level][node] local b
+  std::vector<std::vector<NodeForward>> fwd;           // [level][node]
+  std::vector<std::vector<std::vector<double>>> sol;   // [level][node] local x
+  std::vector<double> x;                               // final solution
+};
+
+struct HSSSolveDag {
+  std::shared_ptr<HSSSolveTaskState> state;
+};
+
+/// Emit the solve DAG for `b` into `graph`; run it with any executor, then
+/// read `dag.state->x`. The result is identical to `factor.solve(b)`.
+HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& b,
+                               rt::TaskGraph& graph);
+
+}  // namespace hatrix::ulv

@@ -1,0 +1,74 @@
+#pragma once
+/// \file hss_ulv.hpp
+/// \brief HSS-ULV factorization and solve (Alg. 2, Eq. 16-17).
+///
+/// The O(N) direct factorization at the heart of the paper: per level, every
+/// node's diagonal is rotated by its shared basis and partially factorized
+/// independently (embarrassingly parallel within a level); the merge step
+/// stitches the two children's skeleton Schur complements and their sibling
+/// coupling into the parent's dense diagonal. The root block gets a plain
+/// dense Cholesky.
+
+#include <vector>
+
+#include "format/hss.hpp"
+#include "ulv/ulv_common.hpp"
+
+namespace hatrix::ulv {
+
+/// The factored form of an SPD HSS matrix. Holds per-node partial factors
+/// plus the root Cholesky factor; solves run in O(N·rank).
+class HSSULV {
+ public:
+  HSSULV() = default;
+
+  /// Assemble a factorization from externally computed pieces — used by the
+  /// task-based factorization (hss_ulv_tasks) after the runtime has executed
+  /// the DAG. `factors[level][node]`; `root_l` is the Cholesky factor of A_0.
+  HSSULV(const fmt::HSSMatrix& a, std::vector<std::vector<NodeFactor>> factors,
+         Matrix root_l)
+      : a_(&a), factors_(std::move(factors)), root_l_(std::move(root_l)) {}
+
+  /// Factorize a symmetric positive definite HSS matrix. Throws
+  /// hatrix::Error if a pivot fails (matrix not SPD on the compressed
+  /// representation).
+  static HSSULV factorize(const fmt::HSSMatrix& a);
+
+  /// Solve A x = b; returns x. `b.size()` must equal `a.size()`.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A X = B column by column for a block of right-hand sides.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Solve with iterative refinement: after the direct ULV solve, perform
+  /// `iterations` residual-correction steps r = b - A x (A applied through
+  /// the compressed matvec), x += A^{-1} r. Cheap (O(N·rank) per step) and
+  /// recovers digits lost to compression roundoff.
+  [[nodiscard]] std::vector<double> solve_refined(const std::vector<double>& b,
+                                                  int iterations = 1) const;
+
+  /// Total bytes held by the factors (complements + triangles + root).
+  [[nodiscard]] std::int64_t memory_bytes() const;
+
+  /// The matrix this factorization refers to (not owned).
+  [[nodiscard]] const fmt::HSSMatrix& matrix() const { return *a_; }
+
+  /// Per-node factor access (used by the task-based solve).
+  [[nodiscard]] const NodeFactor& factor(int level, index_t i) const {
+    return factors_[static_cast<std::size_t>(level)][static_cast<std::size_t>(i)];
+  }
+  /// Cholesky factor of the root block A_0.
+  [[nodiscard]] const Matrix& root_factor() const { return root_l_; }
+
+ private:
+  const fmt::HSSMatrix* a_ = nullptr;
+  std::vector<std::vector<NodeFactor>> factors_;  // [level][node]
+  Matrix root_l_;                                 // dense Cholesky of A_0
+};
+
+/// Convenience: relative solve error of Eq. (19),
+/// || b - A^{-1} (A b) || / || b ||, using the compressed matvec for A·b.
+double ulv_solve_error(const fmt::HSSMatrix& a, const HSSULV& f,
+                       const std::vector<double>& b);
+
+}  // namespace hatrix::ulv

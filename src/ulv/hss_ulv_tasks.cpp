@@ -1,0 +1,211 @@
+#include "ulv/hss_ulv_tasks.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace hatrix::ulv {
+
+namespace {
+
+Matrix merge_diag(const Matrix& ss0, const Matrix& ss1, const Matrix& s_lower) {
+  const index_t k0 = ss0.rows(), k1 = ss1.rows();
+  Matrix d(k0 + k1, k0 + k1);
+  if (k0 > 0) la::copy(ss0.view(), d.block(0, 0, k0, k0));
+  if (k1 > 0) la::copy(ss1.view(), d.block(k0, k0, k1, k1));
+  if (k0 > 0 && k1 > 0) {
+    la::copy(s_lower.view(), d.block(k0, 0, k1, k0));
+    Matrix st = la::transpose(s_lower.view());
+    la::copy(st.view(), d.block(0, k0, k0, k1));
+  }
+  return d;
+}
+
+}  // namespace
+
+HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
+                           bool with_work) {
+  const int L = a.max_level();
+  HSSULVDag dag;
+  dag.state = std::make_shared<HSSULVTaskState>();
+  auto& st = *dag.state;
+  st.a = &a;
+  st.diags.resize(static_cast<std::size_t>(L) + 1);
+  st.rotated.resize(static_cast<std::size_t>(L) + 1);
+  st.factors.resize(static_cast<std::size_t>(L) + 1);
+  st.schur.resize(static_cast<std::size_t>(L) + 1);
+  dag.diag_data.resize(static_cast<std::size_t>(L) + 1);
+  dag.basis_data.resize(static_cast<std::size_t>(L) + 1);
+  dag.rotated_data.resize(static_cast<std::size_t>(L) + 1);
+  dag.schur_data.resize(static_cast<std::size_t>(L) + 1);
+  dag.coupling_data.resize(static_cast<std::size_t>(L) + 1);
+
+  // Register data handles for every level.
+  for (int l = 0; l <= L; ++l) {
+    const auto nn = static_cast<std::size_t>(a.num_nodes(l));
+    st.diags[static_cast<std::size_t>(l)].resize(nn);
+    st.rotated[static_cast<std::size_t>(l)].resize(nn);
+    st.factors[static_cast<std::size_t>(l)].resize(nn);
+    st.schur[static_cast<std::size_t>(l)].resize(nn);
+    auto& dd = dag.diag_data[static_cast<std::size_t>(l)];
+    auto& bd = dag.basis_data[static_cast<std::size_t>(l)];
+    auto& rd = dag.rotated_data[static_cast<std::size_t>(l)];
+    auto& sd = dag.schur_data[static_cast<std::size_t>(l)];
+    for (index_t i = 0; i < a.num_nodes(l); ++i) {
+      const auto& nd = a.node(l, i);
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
+      // The working diagonal at level l for internal nodes is (k0+k1)^2; at
+      // the leaves it is the dense leaf block.
+      index_t m = nd.block_size();
+      if (l < L)
+        m = a.node(l + 1, 2 * i).rank + a.node(l + 1, 2 * i + 1).rank;
+      // Byte sizes are computed from the block shapes (not the stored
+      // matrices) so costing-only DAGs built from rank skeletons price
+      // communication identically to fully materialized ones.
+      dd.push_back(graph.register_data("diag" + tag, m * m * 8));
+      bd.push_back(graph.register_data("basis" + tag, m * nd.rank * 8));
+      rd.push_back(graph.register_data("rotated" + tag, m * m * 8));
+      sd.push_back(graph.register_data("schur" + tag, nd.rank * nd.rank * 8));
+    }
+    if (l >= 1) {
+      auto& cd = dag.coupling_data[static_cast<std::size_t>(l)];
+      for (index_t t = 0; t < a.num_pairs(l); ++t)
+        cd.push_back(graph.register_data(
+            "S(" + std::to_string(l) + "," + std::to_string(t) + ")",
+            a.node(l, 2 * t).rank * a.node(l, 2 * t + 1).rank * 8));
+    }
+  }
+  dag.root_data = graph.register_data("root", 0);
+
+  if (with_work && L >= 0) {
+    // Seed the leaf working diagonals.
+    for (index_t i = 0; i < a.num_nodes(L); ++i)
+      st.diags[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)] =
+          Matrix::from_view(a.node(L, i).diag.view());
+  }
+
+  if (L == 0) {
+    auto stp = dag.state;
+    graph.insert_task(
+        "ROOT_FACTOR", "potrf", {a.size()},
+        with_work ? std::function<void()>([stp] {
+          stp->root_l = Matrix::from_view(stp->a->node(0, 0).diag.view());
+          la::potrf(stp->root_l.view());
+        })
+                  : std::function<void()>(),
+        {{dag.root_data, rt::Access::ReadWrite}}, /*priority=*/0, /*phase=*/0);
+    return dag;
+  }
+
+  // Levels leaf..1: diagonal product, partial factorization, merge.
+  for (int l = L; l >= 1; --l) {
+    const int phase = L - l;
+    const int priority = l;  // deeper levels drain first under contention
+    for (index_t i = 0; i < a.num_nodes(l); ++i) {
+      const auto& nd = a.node(l, i);
+      const index_t m = (l < L)
+                            ? a.node(l + 1, 2 * i).rank + a.node(l + 1, 2 * i + 1).rank
+                            : nd.block_size();
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
+      auto stp = dag.state;
+      const int li = l;
+      const index_t ii = i;
+
+      graph.insert_task(
+          "DIAG_PRODUCT" + tag, "diag_product", {m, nd.rank},
+          with_work ? std::function<void()>([stp, li, ii] {
+            const auto& nd2 = stp->a->node(li, ii);
+            auto& slot =
+                stp->rotated[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)];
+            slot = diag_product(
+                stp->diags[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)]
+                    .view(),
+                nd2.basis.view());
+          })
+                    : std::function<void()>(),
+          {{dag.diag_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::Read},
+           {dag.basis_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::Read},
+           {dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::ReadWrite}},
+          priority, phase);
+
+      graph.insert_task(
+          "PARTIAL_FACTOR" + tag, "partial_factor", {m, nd.rank},
+          with_work ? std::function<void()>([stp, li, ii] {
+            auto& rot =
+                stp->rotated[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)];
+            const index_t k = stp->a->node(li, ii).rank;
+            auto res = partial_factor_rotated(rot.rotated.view(), k,
+                                              std::move(rot.q_comp));
+            stp->factors[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
+                std::move(res.factor);
+            stp->schur[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
+                std::move(res.ss_schur);
+            rot.rotated = Matrix();  // release working memory
+          })
+                    : std::function<void()>(),
+          {{dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::Read},
+           {dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+            rt::Access::ReadWrite}},
+          priority, phase);
+    }
+
+    for (index_t t = 0; t < a.num_pairs(l); ++t) {
+      const std::string tag = "(" + std::to_string(l) + "," + std::to_string(t) + ")";
+      auto stp = dag.state;
+      const int li = l;
+      const index_t tt = t;
+      const index_t k0 = a.node(l, 2 * t).rank;
+      const index_t k1 = a.node(l, 2 * t + 1).rank;
+      graph.insert_task(
+          "MERGE" + tag, "merge", {k0, k1},
+          with_work ? std::function<void()>([stp, li, tt] {
+            auto& lvl = stp->schur[static_cast<std::size_t>(li)];
+            stp->diags[static_cast<std::size_t>(li) - 1][static_cast<std::size_t>(tt)] =
+                merge_diag(lvl[static_cast<std::size_t>(2 * tt)],
+                           lvl[static_cast<std::size_t>(2 * tt + 1)],
+                           stp->a->coupling(li, tt));
+          })
+                    : std::function<void()>(),
+          {{dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)],
+            rt::Access::Read},
+           {dag.schur_data[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(2 * t + 1)],
+            rt::Access::Read},
+           {dag.coupling_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(t)],
+            rt::Access::Read},
+           {dag.diag_data[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(t)],
+            rt::Access::ReadWrite}},
+          priority, phase);
+    }
+  }
+
+  // Root factorization.
+  {
+    auto stp = dag.state;
+    const index_t kroot = a.node(1, 0).rank + a.node(1, 1).rank;
+    graph.insert_task(
+        "ROOT_FACTOR", "potrf", {kroot},
+        with_work ? std::function<void()>([stp] {
+          stp->root_l = std::move(stp->diags[0][0]);
+          la::potrf(stp->root_l.view());
+        })
+                  : std::function<void()>(),
+        {{dag.diag_data[0][0], rt::Access::Read},
+         {dag.root_data, rt::Access::ReadWrite}},
+        /*priority=*/0, /*phase=*/L);
+  }
+
+  return dag;
+}
+
+HSSULV extract_factorization(const HSSULVDag& dag) {
+  auto& st = *dag.state;
+  HATRIX_CHECK(st.a != nullptr, "dag state has no matrix");
+  return HSSULV(*st.a, std::move(st.factors), std::move(st.root_l));
+}
+
+}  // namespace hatrix::ulv

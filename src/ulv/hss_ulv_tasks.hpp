@@ -1,0 +1,59 @@
+#pragma once
+/// \file hss_ulv_tasks.hpp
+/// \brief HSS-ULV expressed as a task graph (Fig. 8 of the paper).
+///
+/// Per node and level:
+///   DIAG_PRODUCT(l,i)    reads  diag(l,i), basis(l,i)   writes rotated(l,i)
+///   PARTIAL_FACTOR(l,i)  reads  rotated(l,i)            writes factor+schur
+///   MERGE(l,t)           reads  schur(l,2t), schur(l,2t+1), coupling(l,t)
+///                        writes diag(l-1,t)
+///   ROOT_FACTOR          reads  diag(0,0)               writes root
+///
+/// Dependencies only flow through the merge step (Sec. 4.2): within a level
+/// everything is embarrassingly parallel, which is what the asynchronous
+/// executor exploits and the fork-join executor (phase = L - l) deliberately
+/// serializes at level boundaries.
+
+#include <memory>
+
+#include "format/hss.hpp"
+#include "runtime/task_graph.hpp"
+#include "ulv/hss_ulv.hpp"
+
+namespace hatrix::ulv {
+
+/// Mutable state shared by the task closures.
+struct HSSULVTaskState {
+  const fmt::HSSMatrix* a = nullptr;
+  std::vector<std::vector<Matrix>> diags;             // [level][node]
+  std::vector<std::vector<DiagProductResult>> rotated;
+  std::vector<std::vector<NodeFactor>> factors;
+  std::vector<std::vector<Matrix>> schur;
+  Matrix root_l;
+};
+
+/// The emitted DAG plus the data-handle layout (used by the distribution
+/// policies to assign block owners) and the shared state (used to recover
+/// the factorization after execution).
+struct HSSULVDag {
+  std::shared_ptr<HSSULVTaskState> state;
+  std::vector<std::vector<rt::DataId>> diag_data;      // [level][node]
+  std::vector<std::vector<rt::DataId>> basis_data;     // [level][node]
+  std::vector<std::vector<rt::DataId>> rotated_data;   // [level][node]
+  std::vector<std::vector<rt::DataId>> schur_data;     // [level][node]
+  std::vector<std::vector<rt::DataId>> coupling_data;  // [level][pair]
+  rt::DataId root_data = -1;
+};
+
+/// Emit the HSS-ULV factorization DAG into `graph`.
+/// `with_work == true` attaches real computation closures (run the graph,
+/// then call `extract_factorization`); `false` emits a costing-only DAG for
+/// the discrete-event simulator (kinds/dims populated, no closures).
+HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
+                           bool with_work);
+
+/// After an executor ran the with-work DAG, package the computed pieces into
+/// the same HSSULV object the sequential path produces.
+HSSULV extract_factorization(const HSSULVDag& dag);
+
+}  // namespace hatrix::ulv

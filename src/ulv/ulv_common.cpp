@@ -1,0 +1,112 @@
+#include "ulv/ulv_common.hpp"
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace hatrix::ulv {
+
+DiagProductResult diag_product(la::ConstMatrixView diag, la::ConstMatrixView basis) {
+  const index_t m = diag.rows, k = basis.cols;
+  HATRIX_CHECK(diag.cols == m, "diag_product: diagonal must be square");
+  HATRIX_CHECK(basis.rows == m, "diag_product: basis/diagonal size mismatch");
+
+  DiagProductResult out;
+  out.q_comp = la::orth_complement(basis);
+  out.rotated = Matrix(m, m);
+
+  const Matrix& q = out.q_comp;  // m x (m-k)
+  // Â = [Qᵀ; Uᵀ] D [Q U] assembled piecewise (Eq. 7), complement first.
+  Matrix dq = la::matmul(diag, q.view());   // m x (m-k)
+  Matrix du = la::matmul(diag, basis);      // m x k
+  if (m - k > 0) {
+    la::gemm(1.0, q.view(), la::Trans::Yes, dq.view(), la::Trans::No, 0.0,
+             out.rotated.block(0, 0, m - k, m - k));
+    if (k > 0) {
+      la::gemm(1.0, basis, la::Trans::Yes, dq.view(), la::Trans::No, 0.0,
+               out.rotated.block(m - k, 0, k, m - k));
+      la::gemm(1.0, q.view(), la::Trans::Yes, du.view(), la::Trans::No, 0.0,
+               out.rotated.block(0, m - k, m - k, k));
+    }
+  }
+  if (k > 0)
+    la::gemm(1.0, basis, la::Trans::Yes, du.view(), la::Trans::No, 0.0,
+             out.rotated.block(m - k, m - k, k, k));
+  return out;
+}
+
+PartialFactorResult partial_factor_rotated(la::ConstMatrixView rotated, index_t k,
+                                           Matrix q_comp) {
+  const index_t m = rotated.rows;
+  HATRIX_CHECK(rotated.cols == m, "partial_factor_rotated: square input required");
+  HATRIX_CHECK(k >= 0 && k <= m, "partial_factor_rotated: bad rank");
+
+  PartialFactorResult out;
+  out.factor.m = m;
+  out.factor.k = k;
+  out.factor.q_comp = std::move(q_comp);
+
+  Matrix rr = Matrix::from_view(rotated.block(0, 0, m - k, m - k));
+  Matrix sr = Matrix::from_view(rotated.block(m - k, 0, k, m - k));
+  Matrix ss = Matrix::from_view(rotated.block(m - k, m - k, k, k));
+
+  la::potrf(rr.view());  // Eq. 10
+  out.factor.l_rr = std::move(rr);
+  la::trsm(la::Side::Right, la::UpLo::Lower, la::Trans::Yes, la::Diag::NonUnit, 1.0,
+           out.factor.l_rr.view(), sr.view());  // Eq. 11
+  out.factor.l_sr = std::move(sr);
+  la::syrk(-1.0, out.factor.l_sr.view(), la::Trans::No, 1.0, ss.view());  // Eq. 12
+  out.ss_schur = std::move(ss);
+  return out;
+}
+
+PartialFactorResult partial_factor(la::ConstMatrixView diag,
+                                   la::ConstMatrixView basis) {
+  DiagProductResult rot = diag_product(diag, basis);
+  return partial_factor_rotated(rot.rotated.view(), basis.cols,
+                                std::move(rot.q_comp));
+}
+
+NodeForward forward_step(const NodeFactor& f, la::ConstMatrixView basis,
+                         const double* b_local) {
+  NodeForward fw;
+  fw.z_r.assign(static_cast<std::size_t>(f.m - f.k), 0.0);
+  fw.z_s.assign(static_cast<std::size_t>(f.k), 0.0);
+  if (f.m - f.k > 0) {
+    la::gemv(1.0, f.q_comp.view(), la::Trans::Yes, b_local, 0.0, fw.z_r.data());
+    // z_r = L_RR^{-1} (Qᵀ b)
+    la::MatrixView zr{fw.z_r.data(), f.m - f.k, 1, f.m - f.k};
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0,
+             f.l_rr.view(), zr);
+  }
+  if (f.k > 0) {
+    la::gemv(1.0, basis, la::Trans::Yes, b_local, 0.0, fw.z_s.data());
+    if (f.m - f.k > 0)
+      la::gemv(-1.0, f.l_sr.view(), la::Trans::No, fw.z_r.data(), 1.0, fw.z_s.data());
+  }
+  return fw;
+}
+
+std::vector<double> backward_step(const NodeFactor& f, la::ConstMatrixView basis,
+                                  const NodeForward& fw,
+                                  const std::vector<double>& x_s) {
+  HATRIX_CHECK(static_cast<index_t>(x_s.size()) == f.k,
+               "backward_step: skeleton solution has wrong length");
+  std::vector<double> x(static_cast<std::size_t>(f.m), 0.0);
+  if (f.m - f.k > 0) {
+    // x_r = L_RRᵀ^{-1} (z_r - L_SRᵀ x_s)
+    std::vector<double> rhs = fw.z_r;
+    if (f.k > 0)
+      la::gemv(-1.0, f.l_sr.view(), la::Trans::Yes, x_s.data(), 1.0, rhs.data());
+    la::MatrixView rv{rhs.data(), f.m - f.k, 1, f.m - f.k};
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::Yes, la::Diag::NonUnit, 1.0,
+             f.l_rr.view(), rv);
+    la::gemv(1.0, f.q_comp.view(), la::Trans::No, rhs.data(), 0.0, x.data());
+  }
+  if (f.k > 0)
+    la::gemv(1.0, basis, la::Trans::No, x_s.data(), 1.0, x.data());
+  return x;
+}
+
+}  // namespace hatrix::ulv

@@ -1,0 +1,80 @@
+#pragma once
+/// \file ulv_common.hpp
+/// \brief Shared pieces of the BLR²-ULV and HSS-ULV factorizations.
+///
+/// Both algorithms repeat the same per-node step (Sec. 3, Eq. 7-12):
+/// rotate the diagonal block by the full basis U_F = [Uᴿ Uˢ], partially
+/// Cholesky-factorize the redundant (RR) part, and leave a Schur-complement
+/// skeleton (SS) block for the next level / merge step.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hatrix::ulv {
+
+using la::index_t;
+using la::Matrix;
+
+/// Per-node ULV factor: the complement basis and the partial Cholesky
+/// pieces. With k = rank and m = the node's current dimension:
+///   q_comp : m x (m-k)   orthonormal complement Uᴿ of the shared basis Uˢ
+///   l_rr   : (m-k)x(m-k) lower Cholesky factor of Â^RR (Eq. 10)
+///   l_sr   : k x (m-k)   coupling Â^SR L_RR^{-T} (Eq. 11)
+/// The Schur complement Â^SS - L_SR L_SRᵀ (Eq. 12) is returned separately
+/// and consumed by the merge step.
+struct NodeFactor {
+  Matrix q_comp;
+  Matrix l_rr;
+  Matrix l_sr;
+  index_t m = 0;
+  index_t k = 0;
+};
+
+/// Result of the per-node "diagonal product + partial factorization":
+/// the factor plus the skeleton Schur complement passed to the parent.
+struct PartialFactorResult {
+  NodeFactor factor;
+  Matrix ss_schur;  ///< k x k
+};
+
+/// Output of the "Diagonal Product" task (Fig. 8): the complement basis and
+/// the rotated diagonal Â = U_Fᵀ D U_F laid out complement-first,
+/// [RR SRᵀ; SR SS] (Eq. 7).
+struct DiagProductResult {
+  Matrix q_comp;   ///< m x (m-k)
+  Matrix rotated;  ///< m x m
+};
+
+/// The "Diagonal Product" step: rotate the node's dense diagonal block by
+/// [Uᴿ Uˢ]. `basis` must have orthonormal columns.
+DiagProductResult diag_product(la::ConstMatrixView diag, la::ConstMatrixView basis);
+
+/// The "Partial Factorization" step (Eq. 10-12) on an already-rotated
+/// diagonal: Cholesky of the leading (m-k) RR block, the SR coupling solve,
+/// and the SS Schur complement. Throws if RR is not positive definite.
+PartialFactorResult partial_factor_rotated(la::ConstMatrixView rotated, index_t k,
+                                           Matrix q_comp);
+
+/// Both steps fused (the sequential path).
+PartialFactorResult partial_factor(la::ConstMatrixView diag,
+                                   la::ConstMatrixView basis);
+
+/// Forward-solve bookkeeping for one node: rotated RHS pieces.
+struct NodeForward {
+  std::vector<double> z_r;  ///< L_RR^{-1} Qᵀ b (length m-k)
+  std::vector<double> z_s;  ///< Uˢᵀ b - L_SR z_r (length k), passed up
+};
+
+/// Apply the forward step of the ULV solve at one node (Eq. 15/17 inner
+/// factor): rotate the local RHS and eliminate the redundant part.
+NodeForward forward_step(const NodeFactor& f, la::ConstMatrixView basis,
+                         const double* b_local);
+
+/// Apply the backward step: given the skeleton solution x_s (length k),
+/// reconstruct the node-local solution x = Uᴿ x_r + Uˢ x_s (length m).
+std::vector<double> backward_step(const NodeFactor& f, la::ConstMatrixView basis,
+                                  const NodeForward& fw,
+                                  const std::vector<double>& x_s);
+
+}  // namespace hatrix::ulv

@@ -1,0 +1,100 @@
+// Tests for src/common: flop counting, tables, CLI parsing, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace hatrix {
+namespace {
+
+TEST(Flops, AddAndReset) {
+  flops::reset();
+  flops::add(100);
+  flops::add(23);
+  EXPECT_EQ(flops::total(), 123u);
+  flops::reset();
+  EXPECT_EQ(flops::total(), 0u);
+}
+
+TEST(Flops, ScopeCountsDelta) {
+  flops::reset();
+  flops::add(10);
+  flops::Scope scope;
+  flops::add(32);
+  EXPECT_EQ(scope.count(), 32u);
+}
+
+TEST(Flops, AggregatesAcrossThreads) {
+  flops::reset();
+  std::thread t1([] { flops::add(40); });
+  std::thread t2([] { flops::add(2); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(flops::total(), 42u);
+}
+
+TEST(TextTable, AlignsAndCsv) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Cli, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog", "--n", "1024", "--tol=1e-8", "--verbose",
+                        "--nodes", "2,8,32"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 1024);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 0.0), 1e-8);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  auto nodes = cli.get_int_list("nodes", {});
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 2);
+  EXPECT_EQ(nodes[2], 32);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.index(17);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+}
+
+}  // namespace
+}  // namespace hatrix

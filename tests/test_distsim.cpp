@@ -1,0 +1,283 @@
+// Tests for the distributed-execution simulator: mappings, network model,
+// cost model, message accounting, and the qualitative properties the paper
+// reports (async beats fork-join; O(N) comm for HSS vs heavy comm for BLR).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blrchol/blr_cholesky_tasks.hpp"
+#include "distsim/cost_model.hpp"
+#include "distsim/des.hpp"
+#include "distsim/mapping.hpp"
+#include "distsim/network_model.hpp"
+#include "format/blr.hpp"
+#include "format/hss_builder.hpp"
+#include "ulv/hss_ulv_tasks.hpp"
+
+namespace hatrix::distsim {
+namespace {
+
+using la::index_t;
+
+/// Costing-only HSS-ULV DAG + row-cyclic mapping at a given scale.
+struct HssSim {
+  rt::TaskGraph graph;
+  fmt::HSSMatrix skeleton;
+  ulv::HSSULVDag dag;
+  Mapping mapping;
+
+  HssSim(index_t n, index_t leaf, index_t rank, int procs)
+      : skeleton(fmt::make_hss_skeleton(n, leaf, rank)) {
+    dag = ulv::emit_hss_ulv_dag(skeleton, graph, /*with_work=*/false);
+    mapping = map_hss_row_cyclic(dag, graph, procs);
+  }
+};
+
+TEST(NetworkModel, TransferAndBarrier) {
+  NetworkModel net;
+  net.latency = 1e-6;
+  net.bandwidth = 1e9;
+  EXPECT_NEAR(net.transfer_time(1000), 1e-6 + 1e-6, 1e-12);
+  EXPECT_NEAR(net.barrier_time(8), 3 * net.barrier_alpha, 1e-12);
+  EXPECT_EQ(net.barrier_time(1), 0.0);
+}
+
+TEST(CostModel, KnownFlopFormulas) {
+  rt::Task t;
+  t.kind = "potrf";
+  t.dims = {30};
+  EXPECT_NEAR(CostModel::task_flops(t), 9000.0, 1e-9);
+  t.kind = "gemm";
+  t.dims = {4, 5, 6};
+  EXPECT_NEAR(CostModel::task_flops(t), 240.0, 1e-9);
+  t.kind = "merge";
+  t.dims = {10, 10};
+  EXPECT_NEAR(CostModel::task_flops(t), 400.0, 1e-9);
+}
+
+TEST(CostModel, SecondsScalesWithRate) {
+  rt::Task t;
+  t.kind = "potrf";
+  t.dims = {100};
+  CostModel slow(1.0), fast(10.0);
+  EXPECT_NEAR(slow.seconds(t) / fast.seconds(t), 10.0, 1e-9);
+}
+
+TEST(CostModel, CalibratedIsPositive) {
+  CostModel c = CostModel::calibrated();
+  EXPECT_GT(c.gflops_per_core(), 0.0);
+}
+
+TEST(Mapping, RowCyclicFollowsFig7) {
+  HssSim sim(1024, 256, 20, 4);  // 2 levels, 4 leaves
+  const auto& a = sim.skeleton;
+  ASSERT_EQ(a.max_level(), 2);
+  // Leaves on P0..P3; level-1 nodes on P0, P1; root data on P0.
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(sim.graph.data(sim.dag.diag_data[2][static_cast<std::size_t>(i)]).owner,
+              static_cast<int>(i));
+  EXPECT_EQ(sim.graph.data(sim.dag.diag_data[1][0]).owner, 0);
+  EXPECT_EQ(sim.graph.data(sim.dag.diag_data[1][1]).owner, 1);
+  EXPECT_EQ(sim.graph.data(sim.dag.root_data).owner, 0);
+}
+
+TEST(Mapping, OwnerComputesTasksFollowData) {
+  HssSim sim(1024, 256, 20, 4);
+  for (const auto& t : sim.graph.tasks()) {
+    for (const auto& [d, mode] : t.accesses) {
+      if (mode == rt::Access::ReadWrite) {
+        EXPECT_EQ(sim.mapping.task_owner[static_cast<std::size_t>(t.id)],
+                  sim.graph.data(d).owner)
+            << t.name;
+        break;
+      }
+    }
+  }
+}
+
+TEST(Mapping, SingleProcessHasNoMessages) {
+  HssSim sim(2048, 256, 30, 1);
+  auto stats = count_messages(sim.graph, sim.mapping);
+  EXPECT_EQ(stats.messages, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(Mapping, BlockCyclicGeneratesMoreMessagesThanRowCyclic) {
+  // The paper's Sec. 4.3 argument for row-cyclic over block-cyclic.
+  const index_t n = 8192, leaf = 256, rank = 40;
+  const int procs = 8;
+  fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, leaf, rank);
+
+  rt::TaskGraph g1;
+  auto dag1 = ulv::emit_hss_ulv_dag(skel, g1, false);
+  auto m1 = map_hss_row_cyclic(dag1, g1, procs);
+  auto row = count_messages(g1, m1);
+
+  rt::TaskGraph g2;
+  auto dag2 = ulv::emit_hss_ulv_dag(skel, g2, false);
+  auto m2 = map_hss_block_cyclic(dag2, g2, procs);
+  auto blk = count_messages(g2, m2);
+
+  EXPECT_GT(blk.bytes, row.bytes);
+}
+
+TEST(Des, SingleProcSingleCoreMakespanIsSerialTime) {
+  HssSim sim(1024, 256, 20, 1);
+  CostModel cost(2.0);
+  SimConfig cfg;
+  cfg.procs = 1;
+  cfg.cores_per_proc = 1;
+  cfg.overhead = {0.0, 0.0};
+  auto res = simulate(sim.graph, sim.mapping, cost, cfg);
+  double serial = 0.0;
+  for (const auto& t : sim.graph.tasks()) serial += cost.seconds(t);
+  EXPECT_NEAR(res.makespan, serial, 1e-12);
+  EXPECT_EQ(res.messages, 0);
+}
+
+TEST(Des, MoreCoresNeverSlower) {
+  HssSim sim(8192, 256, 40, 4);
+  CostModel cost(2.0);
+  SimConfig c1, c2;
+  c1.procs = c2.procs = 4;
+  c1.cores_per_proc = 1;
+  c2.cores_per_proc = 8;
+  auto r1 = simulate(sim.graph, sim.mapping, cost, c1);
+  auto r2 = simulate(sim.graph, sim.mapping, cost, c2);
+  EXPECT_LE(r2.makespan, r1.makespan * (1.0 + 1e-9));
+}
+
+TEST(Des, MakespanAtLeastCriticalPathWork) {
+  HssSim sim(4096, 256, 30, 64);
+  CostModel cost(2.0);
+  SimConfig cfg;
+  cfg.procs = 64;
+  cfg.cores_per_proc = 48;
+  auto res = simulate(sim.graph, sim.mapping, cost, cfg);
+  // Lower bound: the most expensive single task.
+  double max_task = 0.0;
+  for (const auto& t : sim.graph.tasks())
+    max_task = std::max(max_task, cost.seconds(t));
+  EXPECT_GE(res.makespan, max_task);
+}
+
+TEST(Des, ForkJoinNeverFasterThanAsync) {
+  // The paper's central runtime claim (Sec. 5.2): barriers can only delay.
+  for (index_t n : {4096, 16384}) {
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, 256, 50);
+    rt::TaskGraph g;
+    auto dag = ulv::emit_hss_ulv_dag(skel, g, false);
+    auto map = map_hss_row_cyclic(dag, g, 8);
+    CostModel cost(2.0);
+    SimConfig async_cfg, fj_cfg;
+    async_cfg.procs = fj_cfg.procs = 8;
+    async_cfg.cores_per_proc = fj_cfg.cores_per_proc = 4;
+    async_cfg.model = ExecModel::AsyncDtd;
+    async_cfg.overhead = {0.0, 0.0};  // isolate the barrier effect
+    fj_cfg.model = ExecModel::ForkJoin;
+    fj_cfg.overhead = {0.0, 0.0};
+    auto ra = simulate(g, map, cost, async_cfg);
+    auto rf = simulate(g, map, cost, fj_cfg);
+    EXPECT_LE(ra.makespan, rf.makespan * (1.0 + 1e-9)) << n;
+  }
+}
+
+TEST(Des, DtdDiscoveryGrowsWithTaskCount) {
+  CostModel cost(2.0);
+  SimConfig cfg;
+  cfg.procs = 4;
+  cfg.cores_per_proc = 4;
+  double prev_overhead = -1.0;
+  for (index_t n : {4096, 16384, 65536}) {
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, 256, 30);
+    rt::TaskGraph g;
+    auto dag = ulv::emit_hss_ulv_dag(skel, g, false);
+    auto map = map_hss_row_cyclic(dag, g, cfg.procs);
+    auto res = simulate(g, map, cost, cfg);
+    const double oh = res.overhead_per_worker(cfg);
+    EXPECT_GT(oh, prev_overhead);
+    prev_overhead = oh;
+  }
+}
+
+TEST(Des, HssWeakScalingComputeFlat) {
+  // Fig. 10c's key feature: per-worker compute stays flat when N scales
+  // with the node count.
+  CostModel cost(2.0);
+  double first = -1.0;
+  for (int procs : {2, 8, 32}) {
+    const index_t n = 2048 * procs;
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, 256, 50);
+    rt::TaskGraph g;
+    auto dag = ulv::emit_hss_ulv_dag(skel, g, false);
+    auto map = map_hss_row_cyclic(dag, g, procs);
+    SimConfig cfg;
+    cfg.procs = procs;
+    cfg.cores_per_proc = 8;
+    auto res = simulate(g, map, cost, cfg);
+    const double cpw = res.compute_per_worker(cfg);
+    if (first < 0)
+      first = cpw;
+    else
+      EXPECT_NEAR(cpw, first, 0.35 * first) << procs;  // flat within 35%
+  }
+}
+
+TEST(Des, HssCommVolumeLinearInN) {
+  // Table 1: O(N) communication for the HSS-ULV.
+  auto bytes_for = [](index_t n) {
+    fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, 256, 50);
+    rt::TaskGraph g;
+    auto dag = ulv::emit_hss_ulv_dag(skel, g, false);
+    auto map = map_hss_row_cyclic(dag, g, 16);
+    return static_cast<double>(count_messages(g, map).bytes);
+  };
+  const double b1 = bytes_for(16384);
+  const double b2 = bytes_for(65536);
+  const double exponent = std::log(b2 / b1) / std::log(4.0);
+  EXPECT_LT(exponent, 1.3);
+}
+
+TEST(Des, BlrCommVolumeSuperlinearInN) {
+  // LORAPO's trailing updates ship far more data (Table 1: O(N^3) class).
+  auto bytes_for = [](index_t n) {
+    auto skel = fmt::make_blr_skeleton(n, 512, 128);
+    rt::TaskGraph g;
+    auto dag = blrchol::emit_blr_cholesky_dag(skel, g, false);
+    auto map = map_blr_block_cyclic(dag, g, 16);
+    return static_cast<double>(count_messages(g, map).bytes);
+  };
+  const double b1 = bytes_for(8192);
+  const double b2 = bytes_for(32768);
+  const double exponent = std::log(b2 / b1) / std::log(4.0);
+  EXPECT_GT(exponent, 1.5);
+}
+
+TEST(Des, MessageCountsMatchBetweenCountAndSimulate) {
+  HssSim sim(8192, 256, 40, 8);
+  CostModel cost(2.0);
+  SimConfig cfg;
+  cfg.procs = 8;
+  cfg.cores_per_proc = 4;
+  auto counted = count_messages(sim.graph, sim.mapping);
+  auto simmed = simulate(sim.graph, sim.mapping, cost, cfg);
+  EXPECT_EQ(counted.messages, simmed.messages);
+  EXPECT_EQ(counted.bytes, simmed.bytes);
+}
+
+TEST(Des, StatsDecomposition) {
+  HssSim sim(4096, 256, 30, 4);
+  CostModel cost(2.0);
+  SimConfig cfg;
+  cfg.procs = 4;
+  cfg.cores_per_proc = 2;
+  auto res = simulate(sim.graph, sim.mapping, cost, cfg);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GE(res.overhead_per_worker(cfg), 0.0);
+  EXPECT_GT(res.compute_per_worker(cfg), 0.0);
+  // Per-worker compute can never exceed the makespan.
+  EXPECT_LE(res.compute_per_worker(cfg), res.makespan * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace hatrix::distsim

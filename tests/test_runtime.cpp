@@ -1,0 +1,259 @@
+// Tests for the DTD task graph (dependency inference), the asynchronous and
+// fork-join executors, and trace validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "runtime/fork_join_executor.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/thread_pool_executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace hatrix::rt {
+namespace {
+
+TEST(TaskGraph, ReadAfterWriteEdge) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  TaskId w = g.insert_task("w", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId r = g.insert_task("r", "k", {}, {}, {{d, Access::Read}});
+  ASSERT_EQ(g.successors()[static_cast<std::size_t>(w)].size(), 1u);
+  EXPECT_EQ(g.successors()[static_cast<std::size_t>(w)][0], r);
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(r)], 1);
+}
+
+TEST(TaskGraph, WriteAfterReadEdge) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  TaskId r1 = g.insert_task("r1", "k", {}, {}, {{d, Access::Read}});
+  TaskId r2 = g.insert_task("r2", "k", {}, {}, {{d, Access::Read}});
+  TaskId w = g.insert_task("w", "k", {}, {}, {{d, Access::ReadWrite}});
+  // Both readers must precede the writer; the readers are unordered.
+  std::set<TaskId> preds;
+  for (std::size_t t = 0; t < 2; ++t)
+    for (TaskId s : g.successors()[t]) preds.insert(s);
+  EXPECT_EQ(preds, std::set<TaskId>{w});
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(w)], 2);
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(r1)], 0);
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(r2)], 0);
+}
+
+TEST(TaskGraph, WriteAfterWriteChain) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  TaskId w1 = g.insert_task("w1", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId w2 = g.insert_task("w2", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId w3 = g.insert_task("w3", "k", {}, {}, {{d, Access::ReadWrite}});
+  EXPECT_EQ(g.successors()[static_cast<std::size_t>(w1)],
+            std::vector<TaskId>{w2});
+  EXPECT_EQ(g.successors()[static_cast<std::size_t>(w2)],
+            std::vector<TaskId>{w3});
+}
+
+TEST(TaskGraph, ReadersAfterWriteClearOnNextWrite) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  g.insert_task("w1", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId r = g.insert_task("r", "k", {}, {}, {{d, Access::Read}});
+  TaskId w2 = g.insert_task("w2", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId r2 = g.insert_task("r2", "k", {}, {}, {{d, Access::Read}});
+  // r2 depends on w2 only; r's edge goes to w2.
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(r2)], 1);
+  EXPECT_EQ(g.successors()[static_cast<std::size_t>(r)], std::vector<TaskId>{w2});
+}
+
+TEST(TaskGraph, EdgesDeduplicated) {
+  TaskGraph g;
+  DataId d1 = g.register_data("a");
+  DataId d2 = g.register_data("b");
+  TaskId w = g.insert_task("w", "k", {}, {},
+                           {{d1, Access::ReadWrite}, {d2, Access::ReadWrite}});
+  TaskId r = g.insert_task("r", "k", {}, {},
+                           {{d1, Access::Read}, {d2, Access::Read}});
+  EXPECT_EQ(g.successors()[static_cast<std::size_t>(w)].size(), 1u);
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(r)], 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(TaskGraph, CriticalPathLength) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  DataId e = g.register_data("y");
+  g.insert_task("w1", "k", {}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("w2", "k", {}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("w3", "k", {}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("solo", "k", {}, {}, {{e, Access::ReadWrite}});
+  EXPECT_EQ(g.critical_path_length(), 3);
+}
+
+TEST(TaskGraph, RejectsUnregisteredData) {
+  TaskGraph g;
+  EXPECT_THROW(g.insert_task("bad", "k", {}, {}, {{7, Access::Read}}), Error);
+}
+
+class Executors : public ::testing::TestWithParam<int> {};
+
+TEST_P(Executors, RunsEveryTaskOnceRespectingDeps) {
+  const int workers = GetParam();
+  TaskGraph g;
+  // Chain of accumulating writes: order-sensitive result.
+  DataId d = g.register_data("acc");
+  auto value = std::make_shared<std::atomic<long>>(0);
+  for (int i = 1; i <= 20; ++i) {
+    g.insert_task("mul_add" + std::to_string(i), "k", {},
+                  [value, i] { value->store(value->load() * 2 + i); },
+                  {{d, Access::ReadWrite}});
+  }
+  ThreadPoolExecutor ex(workers);
+  auto stats = ex.run(g);
+  // Sequential reference.
+  long ref = 0;
+  for (int i = 1; i <= 20; ++i) ref = ref * 2 + i;
+  EXPECT_EQ(value->load(), ref);
+  EXPECT_EQ(validate_trace(g, stats), "");
+  EXPECT_EQ(stats.workers, workers);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, Executors, ::testing::Values(1, 2, 4));
+
+TEST(ThreadPoolExecutor, IndependentTasksAllRun) {
+  TaskGraph g;
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  for (int i = 0; i < 100; ++i) {
+    DataId d = g.register_data("d" + std::to_string(i));
+    g.insert_task("t" + std::to_string(i), "k", {},
+                  [counter] { counter->fetch_add(1); }, {{d, Access::ReadWrite}});
+  }
+  ThreadPoolExecutor ex(4);
+  auto stats = ex.run(g);
+  EXPECT_EQ(counter->load(), 100);
+  EXPECT_EQ(validate_trace(g, stats), "");
+}
+
+TEST(ThreadPoolExecutor, DiamondDependency) {
+  TaskGraph g;
+  DataId a = g.register_data("a"), b = g.register_data("b"),
+         c = g.register_data("c");
+  std::vector<int> order;
+  std::mutex mu;
+  auto log = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  g.insert_task("src", "k", {}, [&] { log(0); }, {{a, Access::ReadWrite}});
+  g.insert_task("left", "k", {}, [&] { log(1); },
+                {{a, Access::Read}, {b, Access::ReadWrite}});
+  g.insert_task("right", "k", {}, [&] { log(2); },
+                {{a, Access::Read}, {c, Access::ReadWrite}});
+  g.insert_task("sink", "k", {}, [&] { log(3); },
+                {{b, Access::Read}, {c, Access::Read}});
+  ThreadPoolExecutor ex(2);
+  auto stats = ex.run(g);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+  EXPECT_EQ(validate_trace(g, stats), "");
+}
+
+TEST(ThreadPoolExecutor, PropagatesTaskExceptions) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  g.insert_task("boom", "k", {}, [] { throw Error("boom"); },
+                {{d, Access::ReadWrite}});
+  ThreadPoolExecutor ex(2);
+  EXPECT_THROW((void)ex.run(g), Error);
+}
+
+TEST(ThreadPoolExecutor, EmptyGraph) {
+  TaskGraph g;
+  ThreadPoolExecutor ex(2);
+  auto stats = ex.run(g);
+  EXPECT_EQ(stats.traces.size(), 0u);
+  EXPECT_EQ(stats.wall_time, 0.0);
+}
+
+TEST(ThreadPoolExecutor, PriorityOrderWithSingleWorker) {
+  TaskGraph g;
+  std::vector<int> order;
+  // All independent; single worker must drain by priority.
+  for (int i = 0; i < 5; ++i) {
+    DataId d = g.register_data("d" + std::to_string(i));
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.kind = "k";
+    t.work = [&order, i] { order.push_back(i); };
+    t.accesses = {{d, Access::ReadWrite}};
+    t.priority = i;  // later tasks have higher priority
+    g.insert_task(std::move(t));
+  }
+  ThreadPoolExecutor ex(1);
+  (void)ex.run(g);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.front(), 4);  // highest priority first
+}
+
+TEST(ForkJoinExecutor, BarrierBetweenPhases) {
+  TaskGraph g;
+  std::atomic<int> phase0_done{0};
+  std::atomic<bool> violated{false};
+  for (int i = 0; i < 8; ++i) {
+    DataId d = g.register_data("a" + std::to_string(i));
+    Task t;
+    t.name = "p0_" + std::to_string(i);
+    t.kind = "k";
+    t.work = [&phase0_done] { phase0_done.fetch_add(1); };
+    t.accesses = {{d, Access::ReadWrite}};
+    t.phase = 0;
+    g.insert_task(std::move(t));
+  }
+  for (int i = 0; i < 8; ++i) {
+    DataId d = g.register_data("b" + std::to_string(i));
+    Task t;
+    t.name = "p1_" + std::to_string(i);
+    t.kind = "k";
+    t.work = [&phase0_done, &violated] {
+      if (phase0_done.load() != 8) violated.store(true);
+    };
+    t.accesses = {{d, Access::ReadWrite}};
+    t.phase = 1;
+    g.insert_task(std::move(t));
+  }
+  ForkJoinExecutor ex(4);
+  auto stats = ex.run(g);
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(validate_trace(g, stats), "");
+}
+
+TEST(ForkJoinExecutor, RejectsBackwardPhaseEdges) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  Task t1;
+  t1.name = "late";
+  t1.kind = "k";
+  t1.accesses = {{d, Access::ReadWrite}};
+  t1.phase = 1;
+  g.insert_task(std::move(t1));
+  Task t2;
+  t2.name = "early";
+  t2.kind = "k";
+  t2.accesses = {{d, Access::Read}};  // depends on phase-1 task
+  t2.phase = 0;
+  g.insert_task(std::move(t2));
+  ForkJoinExecutor ex(1);
+  EXPECT_THROW((void)ex.run(g), Error);
+}
+
+TEST(Stats, OverheadIsWallMinusCompute) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  g.insert_task("t", "k", {}, [] {}, {{d, Access::ReadWrite}});
+  ThreadPoolExecutor ex(3);
+  auto stats = ex.run(g);
+  EXPECT_NEAR(stats.overhead_total,
+              stats.wall_time * 3 - stats.compute_total, 1e-12);
+  EXPECT_GE(stats.overhead_per_worker(), 0.0);
+}
+
+}  // namespace
+}  // namespace hatrix::rt

@@ -1,0 +1,145 @@
+// Tests for the strongly admissible BLR² extension: admissibility pattern,
+// exact near field, matvec consistency, accuracy advantage over weak
+// admissibility at equal rank, and the new kernels that exercise it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "format/accessor.hpp"
+#include "format/blr2.hpp"
+#include "format/blr2_strong.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "kernels/kernel_matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/norms.hpp"
+
+namespace hatrix::fmt {
+namespace {
+
+struct Problem {
+  geom::Domain domain;
+  std::unique_ptr<geom::ClusterTree> tree;
+  std::unique_ptr<kernels::Kernel> kernel;
+  std::unique_ptr<kernels::KernelMatrix> km;
+
+  Problem(la::index_t n, la::index_t leaf, const std::string& kname) {
+    domain = geom::grid2d(n);
+    tree = std::make_unique<geom::ClusterTree>(domain, leaf);
+    kernel = kernels::make_kernel(kname);
+    km = std::make_unique<kernels::KernelMatrix>(*kernel, tree->points());
+  }
+};
+
+TEST(StrongBlr2, AdmissibilityPatternIsGeometric) {
+  Problem p(1024, 64, "yukawa");
+  KernelAccessor acc(*p.km);
+  auto m = build_strong_blr2(acc, *p.tree, {.leaf_size = 64, .max_rank = 20}, 1.0);
+  const int L = p.tree->max_level();
+  for (la::index_t i = 0; i < m.num_blocks(); ++i)
+    for (la::index_t j = 0; j < i; ++j)
+      EXPECT_EQ(m.admissible(i, j),
+                geom::strongly_admissible(*p.tree, L, i, j, 1.0));
+  // On a 2D grid a sizable far field is admissible while the touching
+  // neighbourhood stays dense.
+  EXPECT_GT(m.admissible_fraction(), 0.2);
+  EXPECT_LT(m.admissible_fraction(), 1.0);
+}
+
+TEST(StrongBlr2, NearFieldIsExact) {
+  Problem p(512, 64, "laplace2d");
+  KernelAccessor acc(*p.km);
+  auto m = build_strong_blr2(acc, *p.tree, {.leaf_size = 64, .max_rank = 10}, 1.0);
+  for (la::index_t i = 0; i < m.num_blocks(); ++i)
+    for (la::index_t j = 0; j < i; ++j) {
+      if (m.admissible(i, j)) continue;
+      const auto& ni = m.node(i);
+      const auto& nj = m.node(j);
+      la::Matrix exact =
+          acc.block(ni.begin, nj.begin, ni.block_size(), nj.block_size());
+      EXPECT_LT(la::rel_error(exact.view(), m.near_block(i, j).view()), 1e-15);
+    }
+}
+
+TEST(StrongBlr2, MatvecMatchesDense) {
+  Problem p(700, 100, "matern");
+  KernelAccessor acc(*p.km);
+  auto m = build_strong_blr2(acc, *p.tree, {.leaf_size = 100, .max_rank = 25}, 1.0);
+  Rng rng(301);
+  std::vector<double> x = rng.normal_vector(700);
+  std::vector<double> y;
+  m.matvec(x, y);
+  la::Matrix rec = m.dense();
+  std::vector<double> y_ref(700, 0.0);
+  la::gemv(1.0, rec.view(), la::Trans::No, x.data(), 0.0, y_ref.data());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < 700; ++i) {
+    num += (y[i] - y_ref[i]) * (y[i] - y_ref[i]);
+    den += y_ref[i] * y_ref[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-12);
+}
+
+TEST(StrongBlr2, BeatsWeakAdmissibilityAtEqualRank) {
+  // The entire point of strong admissibility: touching clusters are not
+  // low-rank; keeping them dense buys accuracy at the same rank budget.
+  Problem p(1024, 128, "laplace2d");
+  KernelAccessor acc(*p.km);
+  HSSOptions opts{.leaf_size = 128, .max_rank = 8, .tol = 0.0};
+  auto strong = build_strong_blr2(acc, *p.tree, opts, 1.0);
+  auto weak = build_blr2(acc, opts);
+  la::Matrix a = p.km->dense();
+  const double e_strong = la::rel_error(a.view(), strong.dense().view());
+  const double e_weak = la::rel_error(a.view(), weak.dense().view());
+  EXPECT_LT(e_strong, e_weak);
+  EXPECT_LT(e_strong, 1e-3);
+}
+
+TEST(StrongBlr2, EtaControlsCompressionAggressiveness) {
+  Problem p(1024, 64, "yukawa");
+  KernelAccessor acc(*p.km);
+  HSSOptions opts{.leaf_size = 64, .max_rank = 15};
+  auto tight = build_strong_blr2(acc, *p.tree, opts, 0.5);  // conservative
+  auto loose = build_strong_blr2(acc, *p.tree, opts, 2.0);  // aggressive
+  EXPECT_LT(tight.admissible_fraction(), loose.admissible_fraction());
+}
+
+TEST(StrongBlr2, MemoryBetweenDenseAndWeak) {
+  Problem p(1024, 128, "yukawa");
+  KernelAccessor acc(*p.km);
+  HSSOptions opts{.leaf_size = 128, .max_rank = 20};
+  auto strong = build_strong_blr2(acc, *p.tree, opts, 1.0);
+  auto weak = build_blr2(acc, opts);
+  EXPECT_GT(strong.memory_bytes(), weak.memory_bytes());
+  EXPECT_LT(strong.memory_bytes(), 1024 * 1024 * 8);
+}
+
+TEST(NewKernels, Laplace3dOnCube) {
+  auto k = kernels::make_kernel("laplace3d");
+  geom::Domain d = geom::grid3d(216);
+  geom::ClusterTree tree(d, 27);
+  kernels::KernelMatrix km(*k, tree.points());
+  la::Matrix a = km.dense();
+  // Symmetric and positive definite on the cube grid.
+  EXPECT_NO_THROW(la::potrf(a.view()));
+}
+
+TEST(NewKernels, ImqIsPositiveDefiniteWithoutRegularization) {
+  auto k = kernels::make_kernel("imq");
+  Rng rng(302);
+  geom::Domain d = geom::random2d(300, rng);
+  geom::ClusterTree tree(d, 50);
+  kernels::KernelMatrix km(*k, tree.points());
+  la::Matrix a = km.dense();
+  EXPECT_NO_THROW(la::potrf(a.view()));
+}
+
+TEST(NewKernels, Laplace3dMatchesFormula) {
+  kernels::Laplace3D k(1e-9);
+  geom::Point a{{0, 0, 0}}, b{{0, 0, 2.0}};
+  EXPECT_DOUBLE_EQ(k(a, b), 1.0 / (1e-9 + 2.0));
+}
+
+}  // namespace
+}  // namespace hatrix::fmt

@@ -1,0 +1,284 @@
+// Tests for the ULV factorizations (Alg. 1 and Alg. 2): exactness on the
+// compressed operator, solve accuracy (Eq. 19), SPD rejection, edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "format/accessor.hpp"
+#include "format/blr2.hpp"
+#include "format/hss_builder.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "kernels/kernel_matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "ulv/blr2_ulv.hpp"
+#include "ulv/hss_ulv.hpp"
+
+namespace hatrix::ulv {
+namespace {
+
+struct Problem {
+  geom::Domain domain;
+  std::unique_ptr<geom::ClusterTree> tree;
+  std::unique_ptr<kernels::Kernel> kernel;
+  std::unique_ptr<kernels::KernelMatrix> km;
+
+  Problem(la::index_t n, la::index_t leaf, const std::string& kname = "yukawa") {
+    domain = geom::grid2d(n);
+    tree = std::make_unique<geom::ClusterTree>(domain, leaf);
+    kernel = kernels::make_kernel(kname);
+    km = std::make_unique<kernels::KernelMatrix>(*kernel, tree->points());
+  }
+};
+
+// Reference: dense solve of the *reconstructed* compressed matrix. ULV is an
+// exact factorization of the compressed operator, so these must agree to
+// roundoff regardless of compression quality.
+std::vector<double> dense_reference_solve(const Matrix& rec,
+                                          const std::vector<double>& b) {
+  Matrix rhs(static_cast<index_t>(b.size()), 1);
+  for (index_t i = 0; i < rhs.rows(); ++i) rhs(i, 0) = b[static_cast<std::size_t>(i)];
+  Matrix x = la::solve_spd(rec.view(), rhs.view());
+  std::vector<double> out(b.size());
+  for (index_t i = 0; i < x.rows(); ++i) out[static_cast<std::size_t>(i)] = x(i, 0);
+  return out;
+}
+
+double vec_rel_err(const std::vector<double>& a, const std::vector<double>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += a[i] * a[i];
+  }
+  return std::sqrt(num / den);
+}
+
+class HssUlvKernels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HssUlvKernels, SolveMatchesDenseSolveOfCompressedOperator) {
+  Problem p(1024, 128, GetParam());
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 128, .max_rank = 40, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  Rng rng(71);
+  std::vector<double> b = rng.normal_vector(1024);
+  auto x_ulv = f.solve(b);
+  auto x_ref = dense_reference_solve(h.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x_ulv), 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKernels, HssUlvKernels,
+                         ::testing::Values("laplace2d", "yukawa", "matern"));
+
+TEST(HssUlv, SolveErrorEq19IsSmall) {
+  Problem p(2048, 256, "yukawa");
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 256, .max_rank = 50, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  Rng rng(72);
+  std::vector<double> b = rng.normal_vector(2048);
+  EXPECT_LT(ulv_solve_error(h, f, b), 1e-10);
+}
+
+TEST(HssUlv, DeepTreeMultipleLevels) {
+  Problem p(1024, 64, "matern");  // 4 levels
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 30, .tol = 0.0});
+  EXPECT_GE(h.max_level(), 4);
+  auto f = HSSULV::factorize(h);
+  Rng rng(73);
+  std::vector<double> b = rng.normal_vector(1024);
+  auto x_ulv = f.solve(b);
+  auto x_ref = dense_reference_solve(h.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x_ulv), 1e-9);
+}
+
+TEST(HssUlv, NonPowerOfTwoSize) {
+  Problem p(900, 100, "yukawa");
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 100, .max_rank = 30, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  Rng rng(74);
+  std::vector<double> b = rng.normal_vector(900);
+  auto x_ulv = f.solve(b);
+  auto x_ref = dense_reference_solve(h.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x_ulv), 1e-9);
+}
+
+TEST(HssUlv, FullRankBasesStillWork) {
+  // max_rank >= leaf size: no compression, complement is empty everywhere at
+  // the leaves; the algorithm must degrade gracefully.
+  Problem p(256, 64, "yukawa");
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 64, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  Rng rng(75);
+  std::vector<double> b = rng.normal_vector(256);
+  auto x_ulv = f.solve(b);
+  auto x_ref = dense_reference_solve(h.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x_ulv), 1e-9);
+}
+
+TEST(HssUlv, DegenerateSingleLeaf) {
+  Problem p(50, 64, "matern");
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 10, .tol = 0.0});
+  EXPECT_EQ(h.max_level(), 0);
+  auto f = HSSULV::factorize(h);
+  Rng rng(76);
+  std::vector<double> b = rng.normal_vector(50);
+  auto x = f.solve(b);
+  auto x_ref = dense_reference_solve(h.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x), 1e-10);
+}
+
+TEST(HssUlv, RejectsIndefiniteMatrix) {
+  // Shift the kernel matrix down until it is indefinite; ULV must throw.
+  Problem p(256, 64, "matern");
+  Matrix a = p.km->dense();
+  for (index_t i = 0; i < a.rows(); ++i) a(i, i) -= 3.0;
+  fmt::DenseAccessor acc(a.view());
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 64, .tol = 0.0});
+  EXPECT_THROW(HSSULV::factorize(h), Error);
+}
+
+TEST(HssUlv, SolveRejectsWrongLength) {
+  Problem p(256, 64);
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 20, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  std::vector<double> bad(100, 1.0);
+  EXPECT_THROW((void)f.solve(bad), Error);
+}
+
+TEST(HssUlv, MemoryBytesPositiveAndBounded) {
+  Problem p(1024, 128);
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 128, .max_rank = 30, .tol = 0.0});
+  auto f = HSSULV::factorize(h);
+  EXPECT_GT(f.memory_bytes(), 0);
+  // Factor memory stays below the dense matrix footprint.
+  EXPECT_LT(f.memory_bytes(), 1024 * 1024 * 8);
+}
+
+TEST(HssUlv, SampledConstructionSolvesAccurately) {
+  Problem p(2048, 256, "matern");
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(
+      acc, {.leaf_size = 256, .max_rank = 60, .tol = 0.0, .sample_cols = 500});
+  auto f = HSSULV::factorize(h);
+  Rng rng(77);
+  std::vector<double> b = rng.normal_vector(2048);
+  EXPECT_LT(ulv_solve_error(h, f, b), 1e-9);
+}
+
+class Blr2UlvKernels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Blr2UlvKernels, SolveMatchesDenseSolveOfCompressedOperator) {
+  Problem p(1024, 128, GetParam());
+  fmt::KernelAccessor acc(*p.km);
+  auto m = fmt::build_blr2(acc, {.leaf_size = 128, .max_rank = 40, .tol = 0.0});
+  auto f = BLR2ULV::factorize(m);
+  Rng rng(78);
+  std::vector<double> b = rng.normal_vector(1024);
+  auto x_ulv = f.solve(b);
+  auto x_ref = dense_reference_solve(m.dense(), b);
+  EXPECT_LT(vec_rel_err(x_ref, x_ulv), 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKernels, Blr2UlvKernels,
+                         ::testing::Values("laplace2d", "yukawa", "matern"));
+
+TEST(Blr2Ulv, SolveErrorAgainstTrueMatrix) {
+  Problem p(1024, 128, "yukawa");
+  fmt::KernelAccessor acc(*p.km);
+  auto m = fmt::build_blr2(acc, {.leaf_size = 128, .max_rank = 60, .tol = 0.0});
+  auto f = BLR2ULV::factorize(m);
+  Rng rng(79);
+  std::vector<double> b = rng.normal_vector(1024);
+  std::vector<double> ab;
+  m.matvec(b, ab);
+  auto x = f.solve(ab);
+  EXPECT_LT(vec_rel_err(b, x), 1e-10);
+}
+
+TEST(Blr2Ulv, RejectsIndefinite) {
+  Problem p(256, 64, "matern");
+  Matrix a = p.km->dense();
+  for (index_t i = 0; i < a.rows(); ++i) a(i, i) -= 3.0;
+  fmt::DenseAccessor acc(a.view());
+  auto m = fmt::build_blr2(acc, {.leaf_size = 64, .max_rank = 64, .tol = 0.0});
+  EXPECT_THROW(BLR2ULV::factorize(m), Error);
+}
+
+TEST(Blr2Ulv, HssAndBlr2AgreeOnTwoLevelProblem) {
+  // With leaf = n/2 the HSS has one level: BLR2 with 2 blocks must give the
+  // same compressed operator and the same solution.
+  Problem p(512, 256, "yukawa");
+  fmt::KernelAccessor acc(*p.km);
+  fmt::HSSOptions opts{.leaf_size = 256, .max_rank = 50, .tol = 0.0};
+  auto h = fmt::build_hss(acc, opts);
+  auto m = fmt::build_blr2(acc, opts);
+  ASSERT_EQ(h.max_level(), 1);
+  ASSERT_EQ(m.num_blocks(), 2);
+  auto fh = HSSULV::factorize(h);
+  auto fm = BLR2ULV::factorize(m);
+  Rng rng(80);
+  std::vector<double> b = rng.normal_vector(512);
+  auto xh = fh.solve(b);
+  auto xm = fm.solve(b);
+  // Bases may differ by sign/rotation, but the compressed operators should
+  // approximate the same matrix; compare both against the true solve.
+  auto x_true = dense_reference_solve(p.km->dense(), b);
+  EXPECT_LT(vec_rel_err(x_true, xh), 1e-4);
+  EXPECT_LT(vec_rel_err(x_true, xm), 1e-4);
+}
+
+TEST(UlvCommon, PartialFactorReconstructs) {
+  // After partial factorization, [L_RR 0; L_SR I] [L_RRᵀ L_SRᵀ; 0 SS_schur]
+  // must reconstruct the rotated diagonal [RR SRᵀ; SR SS].
+  Rng rng(81);
+  const index_t m = 32, k = 8;
+  Matrix d = Matrix::random_spd(rng, m);
+  Matrix g = Matrix::random_normal(rng, m, k);
+  auto qr_g = la::qr(g.view());
+  auto res = partial_factor(d.view(), qr_g.q.view());
+  const auto& f = res.factor;
+
+  Matrix rr = la::matmul(f.l_rr.view(), f.l_rr.view(), la::Trans::No, la::Trans::Yes);
+  Matrix rr_ref(m - k, m - k);
+  Matrix dq = la::matmul(d.view(), f.q_comp.view());
+  la::gemm(1.0, f.q_comp.view(), la::Trans::Yes, dq.view(), la::Trans::No, 0.0,
+           rr_ref.view());
+  EXPECT_LT(la::rel_error(rr_ref.view(), rr.view()), 1e-11);
+
+  // SR = L_SR L_RRᵀ.
+  Matrix sr = la::matmul(f.l_sr.view(), f.l_rr.view(), la::Trans::No, la::Trans::Yes);
+  Matrix sr_ref = la::matmul(qr_g.q.view(), dq.view(), la::Trans::Yes, la::Trans::No);
+  EXPECT_LT(la::rel_error(sr_ref.view(), sr.view()), 1e-11);
+
+  // SS = schur + L_SR L_SRᵀ.
+  Matrix ss = Matrix::from_view(res.ss_schur.view());
+  la::syrk(1.0, f.l_sr.view(), la::Trans::No, 1.0, ss.view());
+  Matrix du = la::matmul(d.view(), qr_g.q.view());
+  Matrix ss_ref = la::matmul(qr_g.q.view(), du.view(), la::Trans::Yes, la::Trans::No);
+  EXPECT_LT(la::rel_error(ss_ref.view(), ss.view()), 1e-11);
+}
+
+TEST(UlvCommon, ComplementIsOrthogonalToBasis) {
+  Rng rng(82);
+  Matrix g = Matrix::random_normal(rng, 40, 10);
+  auto qr_g = la::qr(g.view());
+  Matrix q = la::orth_complement(qr_g.q.view());
+  ASSERT_EQ(q.cols(), 30);
+  Matrix cross = la::matmul(q.view(), qr_g.q.view(), la::Trans::Yes, la::Trans::No);
+  EXPECT_LT(la::norm_max(cross.view()), 1e-13);
+  Matrix qtq = la::matmul(q.view(), q.view(), la::Trans::Yes, la::Trans::No);
+  EXPECT_LT(la::rel_error(Matrix::identity(30).view(), qtq.view()), 1e-12);
+}
+
+}  // namespace
+}  // namespace hatrix::ulv
