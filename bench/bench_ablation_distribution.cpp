@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 100);
   auto nodes_list = cli.get_int_list("nodes", {4, 16, 64});
+  cli.reject_unknown();
 
   std::printf("Ablation: HSS-ULV data distribution (N=%lld leaf=%lld rank=%lld)\n\n",
               static_cast<long long>(n), static_cast<long long>(leaf),

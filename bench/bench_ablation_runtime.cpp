@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 100);
   auto nodes_list = cli.get_int_list("nodes", {2, 8, 32, 128});
+  cli.reject_unknown();
 
   std::printf("Ablation A: async vs fork-join, same DAG, same distribution\n");
   TextTable ta({"NODES", "N", "async (s)", "fork-join (s)", "fj/async"});

@@ -21,6 +21,7 @@ using driver::System;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   auto nodes_list = cli.get_int_list("nodes", {2, 4, 8, 16, 32, 64, 128});
+  cli.reject_unknown();
 
   std::printf("Fig. 10a — LORAPO breakdown (per-worker seconds)\n");
   TextTable ta({"NODES", "N", "COMPUTE TASK TIME", "RUNTIME OVERHEAD"});

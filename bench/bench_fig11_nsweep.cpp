@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int nodes = static_cast<int>(cli.get_int("nodes", 64));
   auto sizes = cli.get_int_list("sizes", {8192, 16384, 32768, 65536, 131072, 262144});
+  cli.reject_unknown();
 
   std::printf("Fig. 11: varying problem size on %d nodes (Yukawa)\n", nodes);
   TextTable table({"N", "LORAPO (s)", "STRUMPACK (s)", "HATRIX-DTD (s)"});

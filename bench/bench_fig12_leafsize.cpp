@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 128));
   const la::index_t n = cli.get_int("n", 262144);
   auto leaves = cli.get_int_list("leaves", {512, 1024, 2048, 4096, 8192, 16384});
+  cli.reject_unknown();
 
   std::printf("Fig. 12: leaf-size sweep at N = %lld on %d nodes (Yukawa), rank 100\n",
               static_cast<long long>(n), nodes);

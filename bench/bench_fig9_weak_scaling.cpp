@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   auto nodes_list = cli.get_int_list("nodes", {2, 4, 8, 16, 32, 64, 128});
   const la::index_t per_node = cli.get_int("per-node", 2048);
+  cli.reject_unknown();
 
   struct KernelCfg {
     const char* name;

@@ -32,6 +32,14 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 60);
   const int workers = static_cast<int>(cli.get_int("workers", 4));
+  // Bare `--trace-json` / `--dot` (no value) fall back to default filenames.
+  auto out_path = [&](const char* flag, const char* fallback) {
+    std::string v = cli.get_string(flag, "");
+    return v == "true" ? std::string(fallback) : v;
+  };
+  const std::string trace_json = out_path("trace-json", "trace.json");
+  const std::string dot_file = out_path("dot", "dag.dot");
+  cli.reject_unknown();
 
   std::printf("Shared-memory HSS-ULV: N=%lld leaf=%lld rank=%lld, %d workers\n",
               static_cast<long long>(n), static_cast<long long>(leaf),
@@ -68,16 +76,15 @@ int main(int argc, char** argv) {
     auto f = ulv::extract_factorization(dag);
     const double wall = t.seconds();
     if (std::string(name) == "async-dtd") {
-      if (cli.has("trace-json")) {
-        std::ofstream out(cli.get_string("trace-json", "trace.json"));
+      if (!trace_json.empty()) {
+        std::ofstream out(trace_json);
         out << rt::to_chrome_trace(graph, stats);
-        std::printf("  wrote Chrome trace to %s\n",
-                    cli.get_string("trace-json", "trace.json").c_str());
+        std::printf("  wrote Chrome trace to %s\n", trace_json.c_str());
       }
-      if (cli.has("dot")) {
-        std::ofstream out(cli.get_string("dot", "dag.dot"));
+      if (!dot_file.empty()) {
+        std::ofstream out(dot_file);
         out << rt::to_dot(graph);
-        std::printf("  wrote DAG to %s\n", cli.get_string("dot", "dag.dot").c_str());
+        std::printf("  wrote DAG to %s\n", dot_file.c_str());
       }
     }
     // Verify the parallel result against the sequential factorization.

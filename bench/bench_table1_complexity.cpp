@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
   const la::index_t n_lo = cli.get_int("n-lo", 16384);
   const la::index_t n_hi = cli.get_int("n-hi", 65536);
+  cli.reject_unknown();
 
   std::printf("Table 1 reproduction: measured complexity exponents (N: %lld -> %lld, %d nodes)\n\n",
               static_cast<long long>(n_lo), static_cast<long long>(n_hi), nodes);

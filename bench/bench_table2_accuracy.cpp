@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const la::index_t n = cli.get_int("n", 4096);
   const la::index_t sample = cli.get_int("sample", 1024);
+  cli.reject_unknown();
   const std::vector<std::string> kernels = {"laplace2d", "yukawa", "matern"};
 
   std::printf("Table 2 reproduction: N = %lld (paper: 65,536)\n",

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const la::index_t n = cli.get_int("n", 2048);
   const la::index_t leaf = cli.get_int("leaf", 128);
   const la::index_t rank = cli.get_int("rank", 80);
+  cli.reject_unknown();
 
   std::printf("BEM: screened potential on the unit circle, %lld panels\n",
               static_cast<long long>(n));

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   auto nodes = cli.get_int_list("nodes", {2, 8, 32, 128});
   const la::index_t per_node = cli.get_int("per-node", 2048);
+  cli.reject_unknown();
 
   std::printf("Simulated weak scaling (Fugaku-like cluster model; see DESIGN.md)\n\n");
   TextTable table({"NODES", "N", "system", "time (s)", "compute/worker",

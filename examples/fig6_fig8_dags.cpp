@@ -24,6 +24,7 @@ using namespace hatrix;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string dir = cli.get_string("out-dir", ".");
+  cli.reject_unknown();
 
   // Fig. 6: dense tile Cholesky on a 3x3 tiling.
   {

@@ -6,7 +6,8 @@
 // kriging predictor at M held-out targets needs  K^{-1} (solves against the
 // N x N Matérn covariance), done here through the HSS-ULV factorization.
 //
-//   ./kriging_matern [--n 8192] [--targets 500]
+//   ./kriging_matern [--n 8192] [--targets 500] [--nugget 1e-4] [--samples N/4]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -35,6 +36,11 @@ int main(int argc, char** argv) {
   const la::index_t n = cli.get_int("n", 8192);
   const la::index_t m = cli.get_int("targets", 500);
   const double nugget = cli.get_double("nugget", 1e-4);
+  // The short correlation length (mu=0.03) needs the column sample to grow
+  // with N, or the sampled HSS basis misses near-range interactions and the
+  // compressed covariance loses positive definiteness.
+  const la::index_t samples = cli.get_int("samples", std::max<la::index_t>(512, n / 4));
+  cli.reject_unknown();
 
   std::printf("Kriging with Matérn(sigma=1, mu=0.03, rho=0.5), %lld sites, %lld targets\n",
               static_cast<long long>(n), static_cast<long long>(m));
@@ -57,7 +63,7 @@ int main(int argc, char** argv) {
 
   WallTimer timer;
   fmt::HSSMatrix k = fmt::build_hss(
-      acc, {.leaf_size = 256, .max_rank = 80, .sample_cols = 512});
+      acc, {.leaf_size = 256, .max_rank = 80, .sample_cols = samples});
   auto f = ulv::HSSULV::factorize(k);
   std::vector<double> alpha = f.solve(y);  // K^{-1} y, the kriging weights
   std::printf("covariance build + ULV factor + solve: %.3f s (max rank %lld)\n",

@@ -30,6 +30,7 @@ using la::Matrix;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const index_t g = cli.get_int("g", 48);
+  cli.reject_unknown();
   const index_t n = g * g;
   const index_t sep_col = g / 2;
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 100);
   const std::string kname = cli.get_string("kernel", "yukawa");
+  cli.reject_unknown();
 
   // 1. Geometry: a uniform 2D grid, reordered by a cluster tree so that
   //    every tree node owns a contiguous index range.

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Mirrors the tier-1 verification line locally.
+#   scripts/check.sh        -> configure, build, run ALL test suites
+#   scripts/check.sh fast   -> same, but only suites labeled `fast` (< 60 s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LABEL_ARGS=""
+if [ "${1:-}" = "fast" ]; then
+  LABEL_ARGS="-L fast"
+fi
+
+cmake -B build -S .
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+# shellcheck disable=SC2086  # LABEL_ARGS is intentionally word-split
+ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" $LABEL_ARGS

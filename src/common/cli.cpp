@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -22,37 +24,76 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) != 0;
+}
+
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  std::int64_t v = std::strtoll(text.c_str(), &end, 10);
+  HATRIX_CHECK(end != text.c_str() && *end == '\0' && errno != ERANGE,
+               "--" + name + ": not an integer: " + text);
+  return v;
+}
+
+}  // namespace
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  return it == values_.end() ? fallback : parse_int(name, it->second);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(it->second.c_str(), &end);
+  // ERANGE also fires on underflow to a (usable) denormal; only overflow to
+  // ±HUGE_VAL means the value is unrepresentable.
+  const bool overflow = errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+  HATRIX_CHECK(end != it->second.c_str() && *end == '\0' && !overflow,
+               "--" + name + ": not a number: " + it->second);
+  return v;
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::vector<std::int64_t> Cli::get_int_list(
     const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   std::vector<std::int64_t> out;
   const std::string& s = it->second;
+  HATRIX_CHECK(!s.empty() && s.back() != ',', "--" + name + ": malformed list: " + s);
   std::size_t pos = 0;
   while (pos < s.size()) {
     auto comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    out.push_back(parse_int(name, s.substr(pos, comma - pos)));
     pos = comma + 1;
   }
   return out;
+}
+
+void Cli::reject_unknown() const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (queried_.count(key) == 0) unknown += (unknown.empty() ? "--" : ", --") + key;
+  }
+  HATRIX_CHECK(unknown.empty(), "unknown flag(s): " + unknown);
 }
 
 }  // namespace hatrix

@@ -7,12 +7,17 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace hatrix {
 
 /// Parses `--key value` / `--key=value` style argument lists.
+///
+/// Numeric getters reject malformed values (`--n foo`), and
+/// `reject_unknown()` throws for any flag the program never queried, so a
+/// typo'd flag name fails loudly instead of silently using the fallback.
 class Cli {
  public:
   Cli(int argc, char** argv);
@@ -28,8 +33,13 @@ class Cli {
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& name, const std::vector<std::int64_t>& fallback) const;
 
+  /// Throws hatrix::Error if any given flag was never queried via has()/get_*.
+  /// Call after reading all expected flags.
+  void reject_unknown() const;
+
  private:
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace hatrix

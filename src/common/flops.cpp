@@ -11,6 +11,7 @@ namespace {
 // walks the registry under a lock (cold path, benches only).
 struct Counter {
   std::atomic<std::uint64_t> value{0};
+  std::atomic<bool> in_use{false};
 };
 
 std::mutex& registry_mutex() {
@@ -18,19 +19,38 @@ std::mutex& registry_mutex() {
   return m;
 }
 
+// Never destroyed: detached threads may still bump their counter during
+// program teardown, and the leaked vector keeps every Counter reachable.
 std::vector<Counter*>& registry() {
-  static std::vector<Counter*> r;
-  return r;
+  static auto* r = new std::vector<Counter*>();
+  return *r;
 }
 
+Counter* acquire_counter() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Counter* c : registry()) {
+    if (!c->in_use.load(std::memory_order_relaxed)) {
+      c->in_use.store(true, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  auto* c = new Counter();
+  c->in_use.store(true, std::memory_order_relaxed);
+  registry().push_back(c);
+  return c;
+}
+
+// Releases the slot at thread exit so the registry stays bounded by the peak
+// concurrent thread count. The accumulated value is left in place: `total()`
+// must keep seeing flops from threads that have already joined.
+struct Slot {
+  Counter* c = acquire_counter();
+  ~Slot() { c->in_use.store(false, std::memory_order_relaxed); }
+};
+
 Counter& local_counter() {
-  thread_local Counter* c = [] {
-    auto* counter = new Counter();  // leaked deliberately: threads may outlive us
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry().push_back(counter);
-    return counter;
-  }();
-  return *c;
+  thread_local Slot slot;
+  return *slot.c;
 }
 
 }  // namespace

@@ -73,6 +73,115 @@ TEST(Cli, RejectsPositionalArguments) {
   EXPECT_THROW(Cli(2, const_cast<char**>(argv)), Error);
 }
 
+TEST(Cli, RoundTripsValuesThroughFormattedArgv) {
+  // Values formatted the way benches emit them must parse back identically.
+  const std::string n = std::to_string(int64_t{1} << 40);
+  const std::string tol = "--tol=" + fmt_sci(3.25e-11);
+  const std::string list = "2,8,32,128,512";
+  const char* argv[] = {"prog", "--n", n.c_str(), tol.c_str(), "--nodes", list.c_str()};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 0.0), 3.25e-11);
+  auto nodes = cli.get_int_list("nodes", {});
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(nodes[4], 512);
+}
+
+TEST(Cli, EqualsAndSpaceFormsAreEquivalent) {
+  const char* eq_argv[] = {"prog", "--leaf=256", "--kernel=matern"};
+  const char* sp_argv[] = {"prog", "--leaf", "256", "--kernel", "matern"};
+  Cli eq(3, const_cast<char**>(eq_argv));
+  Cli sp(5, const_cast<char**>(sp_argv));
+  EXPECT_EQ(eq.get_int("leaf", 0), sp.get_int("leaf", 0));
+  EXPECT_EQ(eq.get_string("kernel", ""), sp.get_string("kernel", ""));
+}
+
+TEST(Cli, NegativeNumberIsAValueNotAFlag) {
+  const char* argv[] = {"prog", "--shift", "-3.5", "--quiet"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("shift", 0.0), -3.5);
+  EXPECT_TRUE(cli.has("quiet"));
+  EXPECT_EQ(cli.get_string("quiet", ""), "true");
+}
+
+TEST(Cli, RejectUnknownThrowsForUnqueriedFlag) {
+  const char* argv[] = {"prog", "--n", "64", "--laef", "128"};  // typo'd --leaf
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 64);
+  EXPECT_EQ(cli.get_int("leaf", 256), 256);  // typo silently hits fallback...
+  EXPECT_THROW(cli.reject_unknown(), Error); // ...but the audit fails loudly
+}
+
+TEST(Cli, RejectUnknownPassesWhenAllFlagsQueried) {
+  const char* argv[] = {"prog", "--n", "64", "--verbose"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 64);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_NO_THROW(cli.reject_unknown());
+}
+
+TEST(Cli, MalformedNumbersFailLoudly) {
+  const char* argv[] = {"prog", "--n", "12x", "--tol", "abc", "--nodes", "1,two,3"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);
+  EXPECT_THROW((void)cli.get_double("tol", 0.0), Error);
+  EXPECT_THROW((void)cli.get_int_list("nodes", {}), Error);
+}
+
+TEST(Cli, OutOfRangeNumbersFailLoudly) {
+  const char* argv[] = {"prog", "--n", "99999999999999999999", "--tol", "1e999"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);       // would saturate LLONG_MAX
+  EXPECT_THROW((void)cli.get_double("tol", 0.0), Error);  // would saturate to inf
+}
+
+TEST(Cli, SubnormalDoublesAreAccepted) {
+  const char* argv[] = {"prog", "--tol", "1e-310"};  // underflows to a denormal
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 0.0), 1e-310);
+}
+
+TEST(Cli, MalformedListsFailLoudly) {
+  const char* argv[] = {"prog", "--a", "1,2,", "--b=", "--c", "1,,2"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int_list("a", {}), Error);  // trailing comma
+  EXPECT_THROW((void)cli.get_int_list("b", {}), Error);  // empty value
+  EXPECT_THROW((void)cli.get_int_list("c", {}), Error);  // empty segment
+}
+
+TEST(TextTable, EmptyTableRendersHeaderAndRule) {
+  TextTable t({"n", "time", "err"});
+  EXPECT_EQ(t.rows(), 0u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("n | time | err"), std::string::npos);
+  EXPECT_NE(s.find("-------"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "n,time,err\n");
+}
+
+TEST(TextTable, WideCellsKeepAllLinesEqualWidth) {
+  TextTable t({"k", "v"});
+  t.add_row({"a-very-wide-cell-name", "1"});
+  t.add_row({"b", "another-wide-value"});
+  const std::string s = t.to_string();
+  std::vector<std::size_t> lengths;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto nl = s.find('\n', pos);
+    lengths.push_back(nl - pos);
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lengths.size(), 4u);  // header, rule, two rows
+  for (std::size_t len : lengths) EXPECT_EQ(len, lengths[0]);
+}
+
+TEST(TextTable, SingleColumnTable) {
+  TextTable t({"only"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.to_csv(), "only\nx\n");
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find('|'), std::string::npos);
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(123), b(123);
   for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.normal(), b.normal());

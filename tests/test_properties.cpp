@@ -87,15 +87,20 @@ TEST(ExecutorFuzz, ForkJoinAgreesWithAsyncOnPhasedGraphs) {
         }
       return g;
     };
-    long async_result = 0, fj_result = 0;
+    // Unsigned: the rolling checksum is meant to wrap, not overflow.
+    unsigned long async_result = 0, fj_result = 0;
     {
-      auto sink = [&async_result](int v) { async_result = async_result * 31 + v; };
+      auto sink = [&async_result](int v) {
+        async_result = async_result * 31 + static_cast<unsigned long>(v);
+      };
       auto g = build(sink);
       rt::ThreadPoolExecutor ex(3);
       (void)ex.run(g);
     }
     {
-      auto sink = [&fj_result](int v) { fj_result = fj_result * 31 + v; };
+      auto sink = [&fj_result](int v) {
+        fj_result = fj_result * 31 + static_cast<unsigned long>(v);
+      };
       auto g = build(sink);
       rt::ForkJoinExecutor ex(3);
       (void)ex.run(g);
