@@ -23,6 +23,7 @@ class BlockAccessor {
  public:
   virtual ~BlockAccessor() = default;
 
+  /// Matrix dimension N.
   [[nodiscard]] virtual index_t size() const = 0;
 
   /// Fill `out` with A([row0, row0+out.rows) x [col0, col0+out.cols)).
@@ -44,10 +45,14 @@ class BlockAccessor {
 /// Accessor over an explicit dense matrix (not owned).
 class DenseAccessor final : public BlockAccessor {
  public:
+  /// Wrap a dense matrix view; the storage must outlive the accessor.
   explicit DenseAccessor(la::ConstMatrixView a) : a_(a) {}
 
+  /// \copydoc BlockAccessor::size
   [[nodiscard]] index_t size() const override { return a_.rows; }
+  /// \copydoc BlockAccessor::fill_block
   void fill_block(index_t row0, index_t col0, la::MatrixView out) const override;
+  /// \copydoc BlockAccessor::gather
   [[nodiscard]] Matrix gather(const std::vector<index_t>& rows,
                               const std::vector<index_t>& cols) const override;
 
@@ -58,10 +63,14 @@ class DenseAccessor final : public BlockAccessor {
 /// Accessor that evaluates a kernel matrix entry-by-entry (matrix-free).
 class KernelAccessor final : public BlockAccessor {
  public:
+  /// Wrap a kernel matrix; it must outlive the accessor.
   explicit KernelAccessor(const kernels::KernelMatrix& km) : km_(&km) {}
 
+  /// \copydoc BlockAccessor::size
   [[nodiscard]] index_t size() const override { return km_->size(); }
+  /// \copydoc BlockAccessor::fill_block
   void fill_block(index_t row0, index_t col0, la::MatrixView out) const override;
+  /// \copydoc BlockAccessor::gather
   [[nodiscard]] Matrix gather(const std::vector<index_t>& rows,
                               const std::vector<index_t>& cols) const override;
 

@@ -14,29 +14,38 @@
 
 namespace hatrix::fmt {
 
+/// Symmetric single-level BLR² matrix with one shared basis per block row.
 class BLR2Matrix {
  public:
+  /// One block row's stored data.
   struct Node {
-    index_t begin = 0;
-    index_t end = 0;
-    index_t rank = 0;
+    index_t begin = 0;  ///< global index interval [begin, end)
+    index_t end = 0;    ///< one past the last global index
+    index_t rank = 0;   ///< basis column count
     Matrix basis;  ///< U_i, block_size x rank, orthonormal columns
     Matrix diag;   ///< D_i dense
 
+    /// Number of rows owned by this block.
     [[nodiscard]] index_t block_size() const { return end - begin; }
   };
 
   BLR2Matrix() = default;
+  /// Allocate the node/coupling layout for n rows in num_blocks block rows.
   BLR2Matrix(index_t n, index_t num_blocks);
 
+  /// Matrix dimension N.
   [[nodiscard]] index_t size() const { return n_; }
+  /// Number of block rows.
   [[nodiscard]] index_t num_blocks() const { return static_cast<index_t>(nodes_.size()); }
 
+  /// Block row i.
   [[nodiscard]] Node& node(index_t i);
+  /// Block row i (read-only).
   [[nodiscard]] const Node& node(index_t i) const;
 
   /// Skeleton block S_ij for i > j (lower triangle; symmetry gives upper).
   [[nodiscard]] Matrix& coupling(index_t i, index_t j);
+  /// Skeleton block S_ij for i > j (read-only).
   [[nodiscard]] const Matrix& coupling(index_t i, index_t j) const;
 
   /// y = A x in O(N·rank + N·leaf) flops.
@@ -45,6 +54,7 @@ class BLR2Matrix {
   /// Materialize the represented dense matrix (tests).
   [[nodiscard]] Matrix dense() const;
 
+  /// Total compressed storage in bytes.
   [[nodiscard]] std::int64_t memory_bytes() const;
 
  private:

@@ -22,43 +22,58 @@
 
 namespace hatrix::fmt {
 
+/// Symmetric strongly admissible BLR² matrix: far-field blocks compressed
+/// against per-row shared bases, near-field blocks stored dense.
 class StrongBLR2Matrix {
  public:
+  /// One block row's stored data.
   struct Node {
-    index_t begin = 0;
-    index_t end = 0;
-    index_t rank = 0;
+    index_t begin = 0;  ///< global index interval [begin, end)
+    index_t end = 0;    ///< one past the last global index
+    index_t rank = 0;   ///< basis column count
     Matrix basis;  ///< U_i from far-field rows, orthonormal columns
-    Matrix diag;
+    Matrix diag;   ///< D_i dense diagonal block
 
+    /// Number of rows owned by this block.
     [[nodiscard]] index_t block_size() const { return end - begin; }
   };
 
   StrongBLR2Matrix() = default;
+  /// Allocate the node/coupling layout for n rows in num_blocks block rows.
   StrongBLR2Matrix(index_t n, index_t num_blocks);
 
+  /// Matrix dimension N.
   [[nodiscard]] index_t size() const { return n_; }
+  /// Number of block rows.
   [[nodiscard]] index_t num_blocks() const {
     return static_cast<index_t>(nodes_.size());
   }
 
+  /// Block row i.
   [[nodiscard]] Node& node(index_t i);
+  /// Block row i (read-only).
   [[nodiscard]] const Node& node(index_t i) const;
 
   /// True if block (i, j) is admissible (compressed); i != j.
   [[nodiscard]] bool admissible(index_t i, index_t j) const;
+  /// Mark block (i, j) admissible or not (set by the builder's geometry).
   void set_admissible(index_t i, index_t j, bool value);
 
   /// Compressed coupling S_ij for admissible i > j.
   [[nodiscard]] Matrix& coupling(index_t i, index_t j);
+  /// Compressed coupling S_ij for admissible i > j (read-only).
   [[nodiscard]] const Matrix& coupling(index_t i, index_t j) const;
 
   /// Dense near-field block for inadmissible i > j.
   [[nodiscard]] Matrix& near_block(index_t i, index_t j);
+  /// Dense near-field block for inadmissible i > j (read-only).
   [[nodiscard]] const Matrix& near_block(index_t i, index_t j) const;
 
+  /// y = A x through the mixed dense/compressed blocks.
   void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+  /// Materialize the represented dense matrix (tests).
   [[nodiscard]] Matrix dense() const;
+  /// Total storage in bytes (dense near-field + compressed far-field).
   [[nodiscard]] std::int64_t memory_bytes() const;
   /// Fraction of off-diagonal blocks that are admissible (compressed).
   [[nodiscard]] double admissible_fraction() const;

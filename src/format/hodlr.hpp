@@ -21,14 +21,21 @@
 
 namespace hatrix::fmt {
 
+/// Symmetric HODLR matrix: binary tree of individually compressed
+/// off-diagonal blocks, no basis sharing.
 class HODLRMatrix {
  public:
   HODLRMatrix() = default;
+  /// Allocate the tree layout for an n x n matrix with the given depth.
   HODLRMatrix(index_t n, int max_level);
 
+  /// Matrix dimension N.
   [[nodiscard]] index_t size() const { return n_; }
+  /// Leaf level of the tree (level 0 is the root).
   [[nodiscard]] int max_level() const { return max_level_; }
+  /// Nodes at `level` (complete binary tree).
   [[nodiscard]] index_t num_nodes(int level) const { return index_t{1} << level; }
+  /// Sibling pairs at `level`.
   [[nodiscard]] index_t num_pairs(int level) const { return num_nodes(level) / 2; }
 
   /// Index interval of node i at `level` (midpoint splitting, same
@@ -37,16 +44,22 @@ class HODLRMatrix {
 
   /// Dense leaf diagonal i.
   [[nodiscard]] la::Matrix& diag(index_t i);
+  /// Dense leaf diagonal i (read-only).
   [[nodiscard]] const la::Matrix& diag(index_t i) const;
 
   /// Low-rank block A(I_{2t+1}, I_{2t}) at `level` (the lower sibling
   /// block; symmetry gives the upper one).
   [[nodiscard]] lr::LowRank& block(int level, index_t pair);
+  /// Low-rank block A(I_{2t+1}, I_{2t}) at `level` (read-only).
   [[nodiscard]] const lr::LowRank& block(int level, index_t pair) const;
 
+  /// y = A x through the compressed blocks, O(N log N · rank).
   void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+  /// Materialize the represented dense matrix (tests).
   [[nodiscard]] la::Matrix dense() const;
+  /// Total compressed storage in bytes (O(N log N), unlike HSS's O(N)).
   [[nodiscard]] std::int64_t memory_bytes() const;
+  /// Largest block rank anywhere in the tree.
   [[nodiscard]] index_t max_rank_used() const;
 
  private:

@@ -1,85 +1,44 @@
 #include "format/hss_builder.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
-#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "format/hss_builder_tasks.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/qr.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace hatrix::fmt {
 
 namespace {
 
-/// Row interpolative decomposition: F ≈ X · F(sel, :) with X(sel, :) = I.
-struct RowId {
-  std::vector<index_t> sel;  ///< selected (skeleton) row indices into F
-  Matrix x;                  ///< interpolation factor, F.rows x rank
-  index_t rank = 0;
-};
-
-RowId row_id(la::ConstMatrixView f, index_t max_rank, double tol) {
-  RowId out;
-  Matrix ft = la::transpose(f);
-  const double abs_tol = tol > 0.0 ? tol * la::norm_fro(ft.view()) : 0.0;
-  auto pq = la::pivoted_qr(ft.view(), max_rank, abs_tol);
-  const index_t k = pq.rank;
-  out.rank = k;
-  out.x = Matrix(f.rows, k);
-  if (k == 0) return out;
-
-  // Fᵀ P = Q R  =>  row perm[j] of F is (R11⁻¹ R(:,j))ᵀ times the skeleton
-  // rows (the first k pivots).
-  Matrix t = Matrix::from_view(pq.r.view());  // k x f.rows
-  la::trsm(la::Side::Left, la::UpLo::Upper, la::Trans::No, la::Diag::NonUnit, 1.0,
-           pq.r.block(0, 0, k, k), t.view());
-  for (index_t j = 0; j < f.rows; ++j)
-    for (index_t i = 0; i < k; ++i)
-      out.x(pq.perm[static_cast<std::size_t>(j)], i) = t(i, j);
-  out.sel.reserve(static_cast<std::size_t>(k));
-  for (index_t i = 0; i < k; ++i)
-    out.sel.push_back(pq.perm[static_cast<std::size_t>(i)]);
-  return out;
+std::string under_resolved_message(int level, index_t node, index_t sample_cols,
+                                   double residual, double tol) {
+  return "HSS basis under-resolved at node (" + std::to_string(level) + "," +
+         std::to_string(node) + "): probe residual " + std::to_string(residual) +
+         " > guard tolerance " + std::to_string(tol) + " with " +
+         std::to_string(sample_cols) +
+         " sampled columns (max_sample_cols cap reached); raise the cap or the "
+         "initial sample";
 }
-
-/// Column sample of the complement of [begin, end) in [0, n):
-/// all of it when sample == 0, otherwise `sample` distinct indices.
-std::vector<index_t> sample_complement(index_t n, index_t begin, index_t end,
-                                       index_t sample, Rng& rng) {
-  const index_t comp = n - (end - begin);
-  std::vector<index_t> cols;
-  if (sample == 0 || sample >= comp) {
-    cols.reserve(static_cast<std::size_t>(comp));
-    for (index_t j = 0; j < begin; ++j) cols.push_back(j);
-    for (index_t j = end; j < n; ++j) cols.push_back(j);
-    return cols;
-  }
-  std::unordered_set<index_t> chosen;
-  while (static_cast<index_t>(chosen.size()) < sample) {
-    index_t j = rng.index(comp);
-    if (j >= begin) j += end - begin;  // skip the node's own interval
-    chosen.insert(j);
-  }
-  cols.assign(chosen.begin(), chosen.end());
-  std::sort(cols.begin(), cols.end());
-  return cols;
-}
-
-/// Per-node construction state carried up the tree.
-struct BuildState {
-  std::vector<index_t> skel;  ///< global skeleton row indices
-  Matrix rfac;                ///< R̄: Ũᵀ A(I, far) ≈ R̄ · A(skel, far)
-};
 
 }  // namespace
 
-HSSMatrix make_hss_skeleton(index_t n, index_t leaf_size, index_t rank) {
-  const int L = hss_levels(n, leaf_size);
-  HSSMatrix h(n, L);
+BasisUnderResolvedError::BasisUnderResolvedError(int level, index_t node,
+                                                index_t sample_cols,
+                                                double residual, double tol)
+    : Error(under_resolved_message(level, node, sample_cols, residual, tol)),
+      level_(level),
+      node_(node),
+      sample_cols_(sample_cols),
+      residual_(residual),
+      tol_(tol) {}
+
+void assign_hss_intervals(HSSMatrix& h) {
+  const int L = h.max_level();
   h.node(0, 0).begin = 0;
-  h.node(0, 0).end = n;
+  h.node(0, 0).end = h.size();
   for (int l = 0; l < L; ++l) {
     for (index_t i = 0; i < h.num_nodes(l); ++i) {
       const auto& parent = h.node(l, i);
@@ -90,6 +49,12 @@ HSSMatrix make_hss_skeleton(index_t n, index_t leaf_size, index_t rank) {
       h.node(l + 1, 2 * i + 1).end = parent.end;
     }
   }
+}
+
+HSSMatrix make_hss_skeleton(index_t n, index_t leaf_size, index_t rank) {
+  const int L = hss_levels(n, leaf_size);
+  HSSMatrix h(n, L);
+  assign_hss_intervals(h);
   // Leaf ranks clip at the block size; internal ranks clip at the stacked
   // children ranks (the transfer basis has k_c0 + k_c1 rows).
   for (index_t i = 0; i < h.num_nodes(L); ++i)
@@ -150,114 +115,15 @@ int hss_levels(index_t n, index_t leaf_size) {
 }
 
 HSSMatrix build_hss(const BlockAccessor& acc, const HSSOptions& opts) {
-  const index_t n = acc.size();
-  const int L = hss_levels(n, opts.leaf_size);
-  HSSMatrix h(n, L);
-
-  // Assign index intervals by recursive midpoint splitting (matches
-  // geom::ClusterTree, so tree-ordered kernel matrices line up).
-  h.node(0, 0).begin = 0;
-  h.node(0, 0).end = n;
-  for (int l = 0; l < L; ++l) {
-    for (index_t i = 0; i < h.num_nodes(l); ++i) {
-      const auto& parent = h.node(l, i);
-      const index_t mid = parent.begin + (parent.block_size() + 1) / 2;
-      h.node(l + 1, 2 * i).begin = parent.begin;
-      h.node(l + 1, 2 * i).end = mid;
-      h.node(l + 1, 2 * i + 1).begin = mid;
-      h.node(l + 1, 2 * i + 1).end = parent.end;
-    }
-  }
-
-  if (L == 0) {
-    h.node(0, 0).diag = acc.block(0, 0, n, n);
-    return h;
-  }
-
-  Rng rng(opts.seed);
-  std::vector<std::vector<BuildState>> st(static_cast<std::size_t>(L) + 1);
-  for (int l = 0; l <= L; ++l)
-    st[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(h.num_nodes(l)));
-
-  // --- Leaf level: bases from the off-diagonal block row (Eq. 2). ---
-  for (index_t i = 0; i < h.num_nodes(L); ++i) {
-    auto& nd = h.node(L, i);
-    const index_t b = nd.block_size();
-    nd.diag = acc.block(nd.begin, nd.begin, b, b);
-
-    std::vector<index_t> rows(static_cast<std::size_t>(b));
-    for (index_t r = 0; r < b; ++r) rows[static_cast<std::size_t>(r)] = nd.begin + r;
-    const auto cols = sample_complement(n, nd.begin, nd.end, opts.sample_cols, rng);
-    Matrix f = acc.gather(rows, cols);
-
-    RowId id = row_id(f.view(), opts.max_rank, opts.tol);
-    auto qf = la::qr(id.x.view());
-    nd.basis = std::move(qf.q);
-    nd.rank = id.rank;
-
-    auto& s = st[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)];
-    s.rfac = std::move(qf.r);
-    s.skel.reserve(id.sel.size());
-    for (index_t r : id.sel) s.skel.push_back(nd.begin + r);
-  }
-
-  // --- Leaf couplings: exact S = U_jᵀ A(I_j, I_i) U_i. ---
-  for (index_t t = 0; t < h.num_pairs(L); ++t) {
-    const auto& n0 = h.node(L, 2 * t);
-    const auto& n1 = h.node(L, 2 * t + 1);
-    Matrix a10 = acc.block(n1.begin, n0.begin, n1.block_size(), n0.block_size());
-    Matrix tmp = la::matmul(n1.basis.view(), a10.view(), la::Trans::Yes, la::Trans::No);
-    h.coupling(L, t) = la::matmul(tmp.view(), n0.basis.view());
-  }
-
-  // --- Internal levels: transfer bases from children skeletons. ---
-  for (int l = L - 1; l >= 1; --l) {
-    for (index_t p = 0; p < h.num_nodes(l); ++p) {
-      auto& nd = h.node(l, p);
-      const auto& si = st[static_cast<std::size_t>(l) + 1][static_cast<std::size_t>(2 * p)];
-      const auto& sj = st[static_cast<std::size_t>(l) + 1][static_cast<std::size_t>(2 * p + 1)];
-      const index_t ki = static_cast<index_t>(si.skel.size());
-      const index_t kj = static_cast<index_t>(sj.skel.size());
-
-      std::vector<index_t> usk;
-      usk.reserve(static_cast<std::size_t>(ki + kj));
-      usk.insert(usk.end(), si.skel.begin(), si.skel.end());
-      usk.insert(usk.end(), sj.skel.begin(), sj.skel.end());
-
-      const auto cols = sample_complement(n, nd.begin, nd.end, opts.sample_cols, rng);
-      Matrix g = acc.gather(usk, cols);
-
-      RowId id = row_id(g.view(), opts.max_rank, opts.tol);
-      // Raw transfer = blockdiag(R̄_i, R̄_j) · X, then orthonormalize.
-      Matrix raw(ki + kj, id.rank);
-      if (id.rank > 0) {
-        la::gemm(1.0, si.rfac.view(), la::Trans::No, id.x.block(0, 0, ki, id.rank),
-                 la::Trans::No, 0.0, raw.block(0, 0, ki, id.rank));
-        la::gemm(1.0, sj.rfac.view(), la::Trans::No, id.x.block(ki, 0, kj, id.rank),
-                 la::Trans::No, 0.0, raw.block(ki, 0, kj, id.rank));
-      }
-      auto qf = la::qr(raw.view());
-      nd.basis = std::move(qf.q);
-      nd.rank = id.rank;
-
-      auto& sp = st[static_cast<std::size_t>(l)][static_cast<std::size_t>(p)];
-      sp.rfac = std::move(qf.r);
-      sp.skel.reserve(static_cast<std::size_t>(id.rank));
-      for (index_t r : id.sel) sp.skel.push_back(usk[static_cast<std::size_t>(r)]);
-    }
-
-    // Couplings at this level: skeleton-compressed.
-    for (index_t t = 0; t < h.num_pairs(l); ++t) {
-      const auto& s0 = st[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)];
-      const auto& s1 = st[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t + 1)];
-      Matrix a10 = acc.gather(s1.skel, s0.skel);
-      Matrix tmp = la::matmul(s1.rfac.view(), a10.view());
-      h.coupling(l, t) = la::matmul(tmp.view(), s0.rfac.view(), la::Trans::No,
-                                    la::Trans::Yes);
-    }
-  }
-
-  return h;
+  // The sequential build runs the construction task graph in insertion
+  // order (DTD insertion order is a valid topological order by
+  // construction), so it is the exact same per-node code — and produces the
+  // exact same matrix — as the parallel executors.
+  rt::TaskGraph graph;
+  HSSBuildDag dag = emit_hss_build_dag(acc, opts, graph);
+  for (const auto& t : graph.tasks())
+    if (t.work) t.work();
+  return extract_built_hss(dag);
 }
 
 }  // namespace hatrix::fmt

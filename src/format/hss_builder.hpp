@@ -17,18 +17,61 @@
 ///   kernel evaluations per node.
 /// * Couplings: exact U_jᵀ A(I_j, I_i) U_i at the leaf level; skeleton-
 ///   compressed R̄_j A(sk_j, sk_i) R̄_iᵀ at upper levels.
+///
+/// Sampled construction carries an optional accuracy guard
+/// (HSSOptions::guard_tol): each node's interpolation is validated on fresh
+/// probe columns and the sample grows until the probe passes — see
+/// hss_builder_tasks.hpp, which also exposes the construction as a task
+/// graph for parallel execution. build_hss here is the sequential driver
+/// over the same per-node tasks.
 
 #include <memory>
 
+#include "common/error.hpp"
 #include "format/accessor.hpp"
 #include "format/hss.hpp"
 
 namespace hatrix::fmt {
 
+/// Thrown by the guarded sampled construction when a node's column sample
+/// hit HSSOptions::max_sample_cols without the residual probe reaching
+/// guard_tol. This names the failure mode that otherwise surfaces much
+/// later — and misleadingly — as a "matrix not positive definite" pivot
+/// failure inside the ULV Cholesky: the compressed operator was not close
+/// enough to the true kernel matrix because the basis was built from too
+/// few columns.
+class BasisUnderResolvedError : public Error {
+ public:
+  /// Construct with the failing node's coordinates and guard evidence.
+  BasisUnderResolvedError(int level, index_t node, index_t sample_cols,
+                          double residual, double tol);
+
+  [[nodiscard]] int level() const { return level_; }          ///< tree level of the node
+  [[nodiscard]] index_t node() const { return node_; }        ///< node index in its level
+  [[nodiscard]] index_t sample_cols() const { return sample_cols_; }  ///< columns sampled at failure
+  [[nodiscard]] double residual() const { return residual_; } ///< last probe residual
+  [[nodiscard]] double tol() const { return tol_; }           ///< guard tolerance demanded
+
+ private:
+  int level_;
+  index_t node_;
+  index_t sample_cols_;
+  double residual_;
+  double tol_;
+};
+
 /// Number of tree levels build_hss will use for a given size/leaf choice.
 int hss_levels(index_t n, index_t leaf_size);
 
-/// Build a symmetric HSS approximation of the matrix behind `acc`.
+/// Assign index intervals to every tree node by recursive midpoint splitting
+/// (matches geom::ClusterTree, so tree-ordered kernel matrices line up).
+/// `h` must already be sized (HSSMatrix(n, levels)).
+void assign_hss_intervals(HSSMatrix& h);
+
+/// Build a symmetric HSS approximation of the matrix behind `acc`
+/// sequentially. Numerically identical to build_hss_parallel (per-node
+/// deterministic sampling streams); throws BasisUnderResolvedError under
+/// the conditions documented there.
 HSSMatrix build_hss(const BlockAccessor& acc, const HSSOptions& opts);
 
 /// Structure-only HSS "skeleton": index intervals and ranks are assigned

@@ -2,8 +2,16 @@
 
 #include "blrchol/blr_cholesky_tasks.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "format/accessor.hpp"
 #include "format/blr.hpp"
 #include "format/hss_builder.hpp"
+#include "format/hss_builder_tasks.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "kernels/kernel_matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/thread_pool_executor.hpp"
 #include "ulv/hss_ulv_tasks.hpp"
 
 namespace hatrix::driver {
@@ -85,6 +93,51 @@ SimOutcome run_simulated(System sys, const SimExperiment& cfg) {
   out.messages = res.messages;
   out.comm_bytes = res.bytes;
   for (const auto& t : graph.tasks()) out.flops += distsim::CostModel::task_flops(t);
+  return out;
+}
+
+ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
+  geom::Domain domain = geom::grid2d(cfg.n);
+  geom::ClusterTree tree(domain, cfg.leaf_size);
+  auto kernel = kernels::make_kernel(cfg.kernel);
+  kernels::KernelMatrix km(*kernel, tree.points());
+  fmt::KernelAccessor acc(km);
+
+  const fmt::HSSOptions opts{.leaf_size = cfg.leaf_size,
+                             .max_rank = cfg.max_rank,
+                             .tol = cfg.tol,
+                             .sample_cols = cfg.sample_cols,
+                             .seed = cfg.seed,
+                             .guard_tol = cfg.guard_tol,
+                             .max_sample_cols = cfg.max_sample_cols};
+
+  ConstructionOutcome out;
+  rt::ThreadPoolExecutor ex(cfg.workers);
+
+  WallTimer timer;
+  rt::TaskGraph build_graph;
+  fmt::HSSBuildDag build_dag = fmt::emit_hss_build_dag(acc, opts, build_graph);
+  ex.run(build_graph);
+  const fmt::HSSBuildReport rep = fmt::build_report(build_dag);
+  fmt::HSSMatrix h = fmt::extract_built_hss(build_dag);
+  out.build_seconds = timer.seconds();
+  out.build_tasks = build_graph.num_tasks();
+  out.rank_used = h.max_rank_used();
+  out.max_samples = rep.max_samples;
+  out.guard_growths = rep.total_growths;
+  out.worst_residual = rep.worst_residual;
+
+  timer.reset();
+  rt::TaskGraph factor_graph;
+  auto factor_dag = ulv::emit_hss_ulv_dag(h, factor_graph, /*with_work=*/true);
+  ex.run(factor_graph);
+  ulv::HSSULV f = ulv::extract_factorization(factor_dag);
+  out.factor_seconds = timer.seconds();
+  out.factor_tasks = factor_graph.num_tasks();
+
+  Rng rng(cfg.seed + 1);
+  std::vector<double> b = rng.normal_vector(cfg.n);
+  out.solve_error = ulv::ulv_solve_error(h, f, b);
   return out;
 }
 

@@ -55,4 +55,38 @@ struct SimOutcome {
 /// run the discrete-event simulation.
 SimOutcome run_simulated(System sys, const SimExperiment& cfg);
 
+/// One real (non-simulated) shared-memory construction run: build the HSS
+/// form of a kernel matrix through the guarded, task-parallel builder, then
+/// factorize it with HSS-ULV. The compress-vs-factor split this reports is
+/// what bench_construction sweeps over worker counts.
+struct ConstructionExperiment {
+  std::string kernel = "yukawa";   ///< kernel name (kernels::make_kernel)
+  la::index_t n = 8192;            ///< problem size
+  la::index_t leaf_size = 256;     ///< HSS leaf block size
+  la::index_t max_rank = 80;       ///< rank cap for every basis
+  double tol = 0.0;                ///< truncation tolerance (0: rank-only)
+  la::index_t sample_cols = 512;   ///< initial per-node column sample
+  double guard_tol = 1e-4;         ///< accuracy-guard tolerance (0: off)
+  la::index_t max_sample_cols = 0; ///< guard growth cap (0: uncapped)
+  int workers = 1;                 ///< construction/factorization workers
+  std::uint64_t seed = 42;         ///< sampling seed
+};
+
+/// Observables of one construction run.
+struct ConstructionOutcome {
+  double build_seconds = 0.0;      ///< task-parallel construction wall time
+  double factor_seconds = 0.0;     ///< task-parallel ULV factorization wall time
+  double solve_error = 0.0;        ///< Eq. 19 solve error on a random rhs
+  la::index_t rank_used = 0;       ///< largest basis rank in the built matrix
+  la::index_t max_samples = 0;     ///< largest per-node column sample the guard grew to
+  la::index_t guard_growths = 0;   ///< guard-triggered growth rounds (all nodes)
+  double worst_residual = 0.0;     ///< largest accepted guard probe residual
+  std::int64_t build_tasks = 0;    ///< construction DAG size
+  std::int64_t factor_tasks = 0;   ///< factorization DAG size
+};
+
+/// Run one construction experiment. Throws fmt::BasisUnderResolvedError if
+/// the guard cap is hit (see hss_builder.hpp).
+ConstructionOutcome run_construction(const ConstructionExperiment& cfg);
+
 }  // namespace hatrix::driver

@@ -8,6 +8,7 @@
 #include "format/accessor.hpp"
 #include "format/blr.hpp"
 #include "format/hss_builder.hpp"
+#include "format/hss_builder_tasks.hpp"
 #include "geometry/cluster_tree.hpp"
 #include "kernels/kernel_matrix.hpp"
 #include "kernels/kernels.hpp"
@@ -47,11 +48,15 @@ AccuracyOutcome hss_accuracy(const AccuracySetup& setup) {
 
   AccuracyOutcome out;
   WallTimer timer;
-  fmt::HSSMatrix h = fmt::build_hss(acc, {.leaf_size = setup.leaf_size,
-                                          .max_rank = setup.max_rank,
-                                          .tol = setup.tol,
-                                          .sample_cols = setup.sample_cols,
-                                          .seed = setup.seed});
+  const fmt::HSSOptions opts{.leaf_size = setup.leaf_size,
+                             .max_rank = setup.max_rank,
+                             .tol = setup.tol,
+                             .sample_cols = setup.sample_cols,
+                             .seed = setup.seed,
+                             .guard_tol = setup.guard_tol};
+  fmt::HSSMatrix h = setup.workers > 1
+                         ? fmt::build_hss_parallel(acc, opts, setup.workers)
+                         : fmt::build_hss(acc, opts);
   out.build_seconds = timer.seconds();
   out.rank_used = h.max_rank_used();
   out.compressed_bytes = h.memory_bytes();

@@ -25,6 +25,8 @@ struct AccuracySetup {
   double tol = 0.0;               ///< truncation tolerance (0 = rank-only)
   la::index_t sample_cols = 0;    ///< HSS construction sampling (0 = exact)
   std::uint64_t seed = 42;
+  double guard_tol = 0.0;         ///< sampled-construction accuracy guard (0 = off)
+  int workers = 1;                ///< >1: task-parallel HSS construction
 };
 
 struct AccuracyOutcome {

@@ -14,8 +14,11 @@
 
 namespace hatrix::rt {
 
+/// Bulk-synchronous executor: tasks grouped by `phase`, barrier between
+/// phases (the STRUMPACK execution model).
 class ForkJoinExecutor {
  public:
+  /// `num_workers` worker threads (>= 1) per phase.
   explicit ForkJoinExecutor(int num_workers = 1);
 
   /// Run phases in ascending order with a barrier after each. Dependencies
@@ -24,6 +27,7 @@ class ForkJoinExecutor {
   /// has a dependency from a later phase back into an earlier one.
   ExecutionStats run(const TaskGraph& graph);
 
+  /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }
 
  private:

@@ -19,30 +19,33 @@
 
 namespace hatrix::rt {
 
-using TaskId = std::int64_t;
-using DataId = std::int64_t;
+using TaskId = std::int64_t;  ///< index of a task in its graph
+using DataId = std::int64_t;  ///< index of a data handle in its graph
 
 /// Access mode of one task-data pair (PaRSEC's INPUT vs INOUT).
-enum class Access { Read, ReadWrite };
+enum class Access {
+  Read,      ///< the task only reads the block (PaRSEC INPUT)
+  ReadWrite  ///< the task mutates the block (PaRSEC INOUT)
+};
 
 /// A registered piece of data (a matrix block). `bytes` feeds the
 /// communication model; `owner` is the process that holds the block under
 /// the chosen distribution.
 struct DataHandle {
-  DataId id = -1;
-  std::string name;
-  std::int64_t bytes = 0;
-  int owner = 0;
+  DataId id = -1;         ///< handle index in the graph
+  std::string name;       ///< display name, e.g. "diag(2,1)"
+  std::int64_t bytes = 0; ///< payload size for the communication model
+  int owner = 0;          ///< owning process under the chosen distribution
 };
 
 /// One node of the DAG.
 struct Task {
-  TaskId id = -1;
+  TaskId id = -1;              ///< task index in the graph
   std::string name;            ///< display name, e.g. "POTRF(3)"
   std::string kind;            ///< cost-model key, e.g. "potrf"
   std::vector<std::int64_t> dims;  ///< cost-model dimensions (block sizes)
   std::function<void()> work;  ///< actual computation; may be empty (DES-only)
-  std::vector<std::pair<DataId, Access>> accesses;
+  std::vector<std::pair<DataId, Access>> accesses;  ///< data touched, in declaration order
   int priority = 0;  ///< larger runs earlier among ready tasks
   int phase = 0;     ///< fork-join phase (HSS level, tile-Cholesky step)
 };
@@ -55,6 +58,7 @@ class TaskGraph {
 
   /// Reassign the owner process of a block (set by distribution policies).
   void set_owner(DataId d, int owner);
+  /// Update the payload size of a block (set by distribution policies).
   void set_bytes(DataId d, std::int64_t bytes);
 
   /// Insert a task; dependencies are derived from `accesses` against all
@@ -67,8 +71,11 @@ class TaskGraph {
                      std::vector<std::pair<DataId, Access>> accesses,
                      int priority = 0, int phase = 0);
 
+  /// All tasks in insertion (sequential-submission) order.
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  /// All registered data handles.
   [[nodiscard]] const std::vector<DataHandle>& data() const { return data_; }
+  /// One data handle by id.
   [[nodiscard]] const DataHandle& data(DataId d) const;
 
   /// successors()[t] = tasks that must wait for t (deduplicated).
@@ -78,9 +85,11 @@ class TaskGraph {
   /// Number of direct predecessors per task.
   [[nodiscard]] const std::vector<int>& in_degree() const { return in_degree_; }
 
+  /// Number of tasks inserted so far.
   [[nodiscard]] std::int64_t num_tasks() const {
     return static_cast<std::int64_t>(tasks_.size());
   }
+  /// Number of dependency edges (deduplicated).
   [[nodiscard]] std::int64_t num_edges() const { return num_edges_; }
 
   /// Length (in tasks) of the longest chain — the unit-cost critical path.

@@ -13,6 +13,8 @@
 
 namespace hatrix::rt {
 
+/// Asynchronous executor: workers drain a priority-ordered ready queue with
+/// no barriers anywhere.
 class ThreadPoolExecutor {
  public:
   /// `num_workers` worker threads (>= 1). The calling thread coordinates.
@@ -23,6 +25,7 @@ class ThreadPoolExecutor {
   /// thrown by task bodies are captured and rethrown after draining.
   ExecutionStats run(const TaskGraph& graph);
 
+  /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }
 
  private:

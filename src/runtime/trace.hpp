@@ -18,21 +18,22 @@ namespace hatrix::rt {
 
 /// Timing record for one executed task (seconds relative to executor start).
 struct TaskTrace {
-  TaskId task = -1;
-  int worker = -1;
-  double start = 0.0;
-  double end = 0.0;
+  TaskId task = -1;   ///< which task ran
+  int worker = -1;    ///< worker thread that ran it
+  double start = 0.0; ///< start time (s since executor start)
+  double end = 0.0;   ///< end time (s since executor start)
 
+  /// Time spent inside the task body.
   [[nodiscard]] double duration() const { return end - start; }
 };
 
 /// Aggregate execution statistics.
 struct ExecutionStats {
   double wall_time = 0.0;            ///< executor start to last task end
-  int workers = 0;
+  int workers = 0;                   ///< worker thread count
   double compute_total = 0.0;        ///< sum of task durations over all workers
   double overhead_total = 0.0;       ///< workers*wall - compute
-  std::vector<TaskTrace> traces;
+  std::vector<TaskTrace> traces;     ///< one record per executed task
 
   /// Average per-worker compute time (the paper's "COMPUTE TASK TIME").
   [[nodiscard]] double compute_per_worker() const {
