@@ -1,9 +1,21 @@
 // Micro-benchmarks of the dense kernels behind every factorization, plus
 // the cost-model calibration data (the sustained flop rate the simulator's
-// CostModel::calibrated() would pick on this host).
-#include <benchmark/benchmark.h>
+// CostModel::calibrated() would pick on this host). Self-timed — each case
+// repeats until it has accumulated enough wall time for a stable average —
+// and the results land in BENCH_linalg.json next to the solve-throughput
+// numbers so kernel regressions show up in version control.
+//
+//   ./bench_micro_linalg [--min-time 0.2] [--json BENCH_linalg.json] [--csv]
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/bench_json.hpp"
+#include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
@@ -15,82 +27,119 @@ namespace {
 using namespace hatrix;
 using la::Matrix;
 
-void BM_Gemm(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(1);
-  Matrix a = Matrix::random_normal(rng, n, n);
-  Matrix b = Matrix::random_normal(rng, n, n);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    la::gemm(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+struct Case {
+  std::string name;
+  la::index_t n = 0;
+  double seconds_per_iter = 0.0;
+  std::int64_t iterations = 0;
+  double gflops = 0.0;  ///< 0 when no flop count applies
+};
 
-void BM_Potrf(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(2);
-  Matrix a = Matrix::random_spd(rng, n);
-  for (auto _ : state) {
-    Matrix work = Matrix::from_view(a.view());
-    la::potrf(work.view());
-    benchmark::DoNotOptimize(work.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      n * n * n / 3.0 * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+/// Run `body` repeatedly until `min_time` seconds have accumulated (at least
+/// 3 iterations), returning the average seconds per iteration.
+Case timed(const std::string& name, la::index_t n, double flops_per_iter,
+           double min_time, const std::function<void()>& body) {
+  body();  // warm-up (first touch, page faults)
+  WallTimer timer;
+  std::int64_t iters = 0;
+  do {
+    body();
+    ++iters;
+  } while ((timer.seconds() < min_time || iters < 3) && iters < 1000000);
+  Case c;
+  c.name = name;
+  c.n = n;
+  c.iterations = iters;
+  c.seconds_per_iter = timer.seconds() / static_cast<double>(iters);
+  if (flops_per_iter > 0.0) c.gflops = flops_per_iter / c.seconds_per_iter / 1e9;
+  return c;
 }
-BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_Trsm(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(3);
-  Matrix a = Matrix::random_spd(rng, n);
-  la::potrf(a.view());
-  Matrix b = Matrix::random_normal(rng, n, n);
-  for (auto _ : state) {
-    Matrix x = Matrix::from_view(b.view());
-    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0,
-             a.view(), x.view());
-    benchmark::DoNotOptimize(x.data());
-  }
-}
-BENCHMARK(BM_Trsm)->Arg(128)->Arg(256);
-
-void BM_PivotedQr(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(4);
-  Matrix a = Matrix::random_normal(rng, n, 4 * n);
-  for (auto _ : state) {
-    auto f = la::pivoted_qr(a.view(), n / 4, 0.0);
-    benchmark::DoNotOptimize(f.q.data());
-  }
-}
-BENCHMARK(BM_PivotedQr)->Arg(128)->Arg(256);
-
-void BM_Svd(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(5);
-  Matrix a = Matrix::random_normal(rng, n, n);
-  for (auto _ : state) {
-    auto f = la::svd(a.view());
-    benchmark::DoNotOptimize(f.s.data());
-  }
-}
-BENCHMARK(BM_Svd)->Arg(32)->Arg(64)->Arg(128);
-
-void BM_LrAddRound(benchmark::State& state) {
-  const auto n = static_cast<la::index_t>(state.range(0));
-  Rng rng(6);
-  lr::LowRank a(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
-  lr::LowRank b(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
-  for (auto _ : state) {
-    auto s = lr::lr_add_round(1.0, a, -1.0, b, 32, 1e-10);
-    benchmark::DoNotOptimize(s.u.data());
-  }
-}
-BENCHMARK(BM_LrAddRound)->Arg(256)->Arg(1024);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double min_time = cli.get_double("min-time", 0.2);
+  const std::string json_path = cli.get_string("json", "BENCH_linalg.json");
+  const bool csv = cli.has("csv");
+  cli.reject_unknown();
+
+  std::vector<Case> cases;
+
+  for (la::index_t n : {64, 128, 256}) {
+    Rng rng(1);
+    Matrix a = Matrix::random_normal(rng, n, n);
+    Matrix b = Matrix::random_normal(rng, n, n);
+    Matrix c(n, n);
+    cases.push_back(timed("gemm", n, 2.0 * n * n * n, min_time, [&] {
+      la::gemm(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0, c.view());
+    }));
+  }
+
+  for (la::index_t n : {64, 128, 256, 512}) {
+    Rng rng(2);
+    Matrix a = Matrix::random_spd(rng, n);
+    cases.push_back(timed("potrf", n, n * n * n / 3.0, min_time, [&] {
+      Matrix work = Matrix::from_view(a.view());
+      la::potrf(work.view());
+    }));
+  }
+
+  for (la::index_t n : {128, 256}) {
+    Rng rng(3);
+    Matrix a = Matrix::random_spd(rng, n);
+    la::potrf(a.view());
+    Matrix b = Matrix::random_normal(rng, n, n);
+    cases.push_back(timed("trsm", n, static_cast<double>(n) * n * n, min_time, [&] {
+      Matrix x = Matrix::from_view(b.view());
+      la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit,
+               1.0, a.view(), x.view());
+    }));
+  }
+
+  for (la::index_t n : {128, 256}) {
+    Rng rng(4);
+    Matrix a = Matrix::random_normal(rng, n, 4 * n);
+    cases.push_back(timed("pivoted_qr", n, 0.0, min_time,
+                          [&] { auto f = la::pivoted_qr(a.view(), n / 4, 0.0); }));
+  }
+
+  for (la::index_t n : {32, 64, 128}) {
+    Rng rng(5);
+    Matrix a = Matrix::random_normal(rng, n, n);
+    cases.push_back(
+        timed("svd", n, 0.0, min_time, [&] { auto f = la::svd(a.view()); }));
+  }
+
+  for (la::index_t n : {256, 1024}) {
+    Rng rng(6);
+    lr::LowRank a(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
+    lr::LowRank b(Matrix::random_normal(rng, n, 32), Matrix::random_normal(rng, n, 32));
+    cases.push_back(timed("lr_add_round", n, 0.0, min_time, [&] {
+      auto s = lr::lr_add_round(1.0, a, -1.0, b, 32, 1e-10);
+    }));
+  }
+
+  TextTable table({"kernel", "n", "us/iter", "iters", "GFLOP/s"});
+  BenchJson json("micro_linalg");
+  for (const auto& c : cases) {
+    table.add_row({c.name, std::to_string(c.n),
+                   fmt_fixed(c.seconds_per_iter * 1e6, 1),
+                   std::to_string(c.iterations),
+                   c.gflops > 0.0 ? fmt_fixed(c.gflops, 2) : "-"});
+    json.row()
+        .add("kernel", c.name)
+        .add("n", static_cast<std::int64_t>(c.n))
+        .add("seconds_per_iter", c.seconds_per_iter)
+        .add("iterations", c.iterations)
+        .add("gflops", c.gflops);
+  }
+  std::printf("%s\n", csv ? table.to_csv().c_str() : table.to_string().c_str());
+  if (!json_path.empty()) {
+    if (json.write(json_path))
+      std::printf("wrote %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+  }
+  return 0;
+}

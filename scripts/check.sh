@@ -1,17 +1,35 @@
 #!/usr/bin/env sh
 # Mirrors the tier-1 verification line locally.
-#   scripts/check.sh        -> configure, build, run ALL test suites
+#   scripts/check.sh        -> configure, build, run ALL test suites, then
+#                              run the concurrency suite under ThreadSanitizer
 #   scripts/check.sh fast   -> same, but only suites labeled `fast` (< 60 s)
+#                              and no TSan pass
 set -eu
 
 cd "$(dirname "$0")/.."
 
 LABEL_ARGS=""
+FULL=1
 if [ "${1:-}" = "fast" ]; then
   LABEL_ARGS="-L fast"
+  FULL=0
 fi
 
 cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 # shellcheck disable=SC2086  # LABEL_ARGS is intentionally word-split
 ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" $LABEL_ARGS
+
+# Full mode: rebuild just the shared-factorization concurrency suite with
+# ThreadSanitizer and run it. The factored-operator immutability contract
+# (docs/ARCHITECTURE.md) is only as good as this check.
+if [ "$FULL" = "1" ]; then
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+    -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread \
+    -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_concurrent_solve
+  ./build-tsan/tests/test_concurrent_solve
+fi

@@ -1,0 +1,78 @@
+#include "common/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace hatrix {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::Row& BenchJson::Row::add(const std::string& key, double value) {
+  fields_.emplace_back(key, number(value));
+  return *this;
+}
+
+BenchJson::Row& BenchJson::Row::add(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchJson::Row& BenchJson::Row::add(const std::string& key,
+                                    const std::string& value) {
+  fields_.emplace_back(key, quote(value));
+  return *this;
+}
+
+BenchJson::Row& BenchJson::row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n  \"bench\": " + quote(name_) + ",\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "    {";
+    const auto& fields = rows_[r].fields_;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      out += quote(fields[f].first) + ": " + fields[f].second;
+      if (f + 1 < fields.size()) out += ", ";
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace hatrix

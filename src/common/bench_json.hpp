@@ -1,0 +1,54 @@
+#pragma once
+/// \file bench_json.hpp
+/// \brief Minimal JSON emitter for benchmark results.
+///
+/// Every bench that wants machine-readable output writes one flat document:
+///
+///   { "bench": "<name>", "rows": [ { "key": value, ... }, ... ] }
+///
+/// Values are numbers or strings; rows keep insertion order. The format is
+/// deliberately tiny — just enough for the committed BENCH_*.json files to
+/// be diffable across PRs and parseable by any JSON reader — so no external
+/// dependency is pulled in.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hatrix {
+
+/// Accumulates rows of key/value results and renders/writes the document.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// One result record; chain add() calls, e.g.
+  /// `j.row().add("n", 1024).add("seconds", 0.12);`
+  class Row {
+   public:
+    Row& add(const std::string& key, double value);
+    Row& add(const std::string& key, std::int64_t value);
+    Row& add(const std::string& key, const std::string& value);
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+  };
+
+  /// Append (and return) a fresh row. Chain add() calls on the returned
+  /// reference immediately — it is invalidated by the next row() call.
+  Row& row();
+
+  /// Render the whole document.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write the document to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hatrix

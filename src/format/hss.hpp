@@ -61,6 +61,17 @@ struct HSSOptions {
   /// node's index interval (tree order preserves spatial locality, so these
   /// catch missed near-range interactions), half uniformly at random.
   index_t guard_probe_cols = 32;
+  /// Let the guard raise a node's rank cap past max_rank when the probe
+  /// residual is pinned at the rank-truncation floor rather than limited by
+  /// sample coverage. Without the escape, a node whose required rank exceeds
+  /// max_rank keeps growing its column sample — all the way to the full
+  /// off-diagonal complement, silently degrading that node to exact O(N^2)
+  /// sampling — and still comes back with a basis that cannot meet
+  /// guard_tol. Each escalation doubles the node's rank cap (bounded by the
+  /// node's block row count), emits a one-line stderr diagnostic, and is
+  /// counted in HSSBuildReport::rank_escapes. Only active when the guard is
+  /// on (guard_tol > 0).
+  bool rank_escape = true;
 };
 
 /// Symmetric HSS matrix: complete binary tree of intervals with nested

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
+#include <limits>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -135,7 +137,19 @@ struct Guarded {
   index_t samples = 0;
   double residual = 0.0;
   index_t growths = 0;
+  index_t rank_escapes = 0;
 };
+
+/// One-line diagnostic per rank-cap escalation; kept to a single stream
+/// write because build tasks run concurrently.
+void rank_escape_note(int level, index_t node, index_t new_cap, double residual,
+                      double guard_tol) {
+  std::cerr << "[hatrix] guard: node (" + std::to_string(level) + "," +
+                   std::to_string(node) + ") probe residual " +
+                   std::to_string(residual) + " > " + std::to_string(guard_tol) +
+                   " is pinned at the rank-truncation floor; raising rank cap to " +
+                   std::to_string(new_cap) + "\n";
+}
 
 /// Operator diagonal scale max |A(i,i)| over a deterministic subsample. For
 /// an SPD matrix |A(i,j)| <= sqrt(A(i,i) A(j,j)), so this bounds every
@@ -172,17 +186,33 @@ Guarded guarded_row_id(const BlockAccessor& acc, const std::vector<index_t>& row
   }
 
   const bool guarded = opts.guard_tol > 0.0;
+  const bool escape = guarded && opts.rank_escape;
   const index_t cap =
       opts.max_sample_cols > 0 ? std::min(opts.max_sample_cols, comp) : comp;
+  // The rank cap starts at max_rank but may escalate (below) when the probe
+  // residual is pinned at the truncation floor; it can never exceed the
+  // block row count, which keeps every downstream ULV invariant (k <= m).
+  index_t rank_cap = opts.max_rank;
+  const index_t rank_limit = static_cast<index_t>(rows.size());
+  double prev_residual = std::numeric_limits<double>::infinity();
   Matrix f = acc.gather(rows, sampler.draw_random(std::min(opts.sample_cols, cap)));
 
   for (;;) {
-    out.id = row_id(f.view(), opts.max_rank, opts.tol);
+    out.id = row_id(f.view(), rank_cap, opts.tol);
     out.samples = f.cols();
     if (!guarded) return out;
     if (sampler.exhausted()) {
-      // The sample reached the full complement: the compression is exact,
-      // so the last failing probe no longer describes this basis.
+      // The sample reached the full complement, so coverage is exact and any
+      // residual left over is pure rank truncation. If the ID is pinned at
+      // the cap while the guard was still failing, raise the cap until the
+      // truncation is no longer the binding constraint.
+      while (escape && out.id.rank >= rank_cap && rank_cap < rank_limit &&
+             prev_residual > opts.guard_tol) {
+        rank_cap = std::min(rank_limit, 2 * rank_cap);
+        ++out.rank_escapes;
+        rank_escape_note(level, node, rank_cap, prev_residual, opts.guard_tol);
+        out.id = row_id(f.view(), rank_cap, opts.tol);
+      }
       out.residual = 0.0;
       return out;
     }
@@ -210,6 +240,22 @@ Guarded guarded_row_id(const BlockAccessor& acc, const std::vector<index_t>& row
     out.residual =
         lr::interp_residual_maxcol(p.view(), out.id.x.view(), out.id.sel) / scale;
     if (out.residual <= opts.guard_tol) return out;
+
+    // Probe-floor detection: the ID is pinned at the rank cap and either a
+    // growth round barely moved the residual (more columns will not help;
+    // more rank will) or the sample cannot grow any further. Escalate the
+    // cap and recompress the existing sample before spending more samples.
+    if (escape && out.id.rank >= rank_cap && rank_cap < rank_limit &&
+        ((out.growths > 0 && out.residual > 0.5 * prev_residual) ||
+         out.samples >= cap)) {
+      rank_cap = std::min(rank_limit, 2 * rank_cap);
+      ++out.rank_escapes;
+      rank_escape_note(level, node, rank_cap, out.residual, opts.guard_tol);
+      prev_residual = out.residual;
+      f = la::hconcat({f.view(), p.view()});  // probe is already evaluated
+      continue;
+    }
+    prev_residual = out.residual;
     if (out.samples >= cap && cap < comp)
       throw BasisUnderResolvedError(level, node, out.samples, out.residual,
                                     opts.guard_tol);
@@ -312,6 +358,7 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
           s.samples = g.samples;
           s.residual = g.residual;
           s.growths = g.growths;
+          s.rank_escapes = g.rank_escapes;
         },
         {{dag.node_data[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)],
           rt::Access::ReadWrite}},
@@ -366,6 +413,7 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
             sp.samples = g.samples;
             sp.residual = g.residual;
             sp.growths = g.growths;
+            sp.rank_escapes = g.rank_escapes;
           },
           {{dag.node_data[static_cast<std::size_t>(l) + 1]
                          [static_cast<std::size_t>(2 * p)],
@@ -435,6 +483,7 @@ HSSBuildReport build_report(const HSSBuildDag& dag) {
       rep.max_samples = std::max(rep.max_samples, s.samples);
       rep.total_growths += s.growths;
       rep.worst_residual = std::max(rep.worst_residual, s.residual);
+      rep.rank_escapes += s.rank_escapes;
     }
   }
   return rep;

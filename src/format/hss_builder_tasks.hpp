@@ -45,6 +45,7 @@ struct HSSBuildState {
     index_t samples = 0;        ///< far-field columns finally sampled
     double residual = 0.0;      ///< last guard probe residual (0: no guard)
     index_t growths = 0;        ///< guard-triggered sample growth rounds
+    index_t rank_escapes = 0;   ///< rank-cap escalations past max_rank
   };
 
   const BlockAccessor* acc = nullptr;  ///< matrix being compressed (not owned)
@@ -67,6 +68,7 @@ struct HSSBuildReport {
   index_t max_samples = 0;      ///< largest per-node column sample used
   index_t total_growths = 0;    ///< guard growth rounds over all nodes
   double worst_residual = 0.0;  ///< largest accepted probe residual
+  index_t rank_escapes = 0;     ///< rank-cap escalations past max_rank
 };
 
 /// Emit the HSS construction DAG into `graph`. Tasks carry real work

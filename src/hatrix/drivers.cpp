@@ -1,5 +1,10 @@
 #include "hatrix/drivers.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
 #include "blrchol/blr_cholesky_tasks.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -125,6 +130,7 @@ ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
   out.rank_used = h.max_rank_used();
   out.max_samples = rep.max_samples;
   out.guard_growths = rep.total_growths;
+  out.rank_escapes = rep.rank_escapes;
   out.worst_residual = rep.worst_residual;
 
   timer.reset();
@@ -138,6 +144,91 @@ ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
   Rng rng(cfg.seed + 1);
   std::vector<double> b = rng.normal_vector(cfg.n);
   out.solve_error = ulv::ulv_solve_error(h, f, b);
+  return out;
+}
+
+SolveThroughputOutcome run_solve_throughput(const SolveThroughputExperiment& cfg) {
+  geom::Domain domain = geom::grid2d(cfg.n);
+  geom::ClusterTree tree(domain, cfg.leaf_size);
+  auto kernel = kernels::make_kernel(cfg.kernel);
+  kernels::KernelMatrix km(*kernel, tree.points());
+  fmt::KernelAccessor acc(km);
+
+  const fmt::HSSOptions opts{.leaf_size = cfg.leaf_size,
+                             .max_rank = cfg.max_rank,
+                             .sample_cols = cfg.sample_cols,
+                             .seed = cfg.seed,
+                             .guard_tol = cfg.guard_tol};
+
+  SolveThroughputOutcome out;
+  WallTimer timer;
+  fmt::HSSMatrix h = fmt::build_hss(acc, opts);
+  out.build_seconds = timer.seconds();
+  out.rank_used = h.max_rank_used();
+
+  timer.reset();
+  const ulv::HSSULV f = ulv::HSSULV::factorize(h);
+  out.factor_seconds = timer.seconds();
+
+  Rng rng(cfg.seed + 1);
+  const la::index_t batch = std::max<la::index_t>(1, cfg.batch);
+  const la::index_t ncols = std::max<la::index_t>(batch, cfg.solves);
+  const la::Matrix b = la::Matrix::random_normal(rng, cfg.n, ncols);
+  const la::index_t num_panels = (ncols + batch - 1) / batch;
+  const auto clients = static_cast<la::index_t>(std::max(1, cfg.clients));
+
+  // Panels round-robin across client threads; every client solves against
+  // the one shared factorization with zero synchronization (HSSULV::solve
+  // is const and keeps all workspace on the caller's stack).
+  auto run_clients = [&](const std::function<void(const la::Matrix&, la::index_t)>&
+                             solve_panel) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (la::index_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (la::index_t p = c; p < num_panels; p += clients) {
+          const la::index_t c0 = p * batch;
+          const la::index_t w = std::min(batch, ncols - c0);
+          const la::Matrix panel = la::Matrix::from_view(b.block(0, c0, cfg.n, w));
+          solve_panel(panel, p);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  };
+
+  std::vector<la::Matrix> blocked(static_cast<std::size_t>(num_panels));
+  timer.reset();
+  run_clients([&](const la::Matrix& panel, la::index_t p) {
+    blocked[static_cast<std::size_t>(p)] = f.solve(panel);
+  });
+  out.blocked_seconds = timer.seconds();
+  out.solves_per_second =
+      out.blocked_seconds > 0.0 ? static_cast<double>(ncols) / out.blocked_seconds
+                                : 0.0;
+
+  if (cfg.compare_oracle) {
+    std::vector<la::Matrix> oracle(static_cast<std::size_t>(num_panels));
+    timer.reset();
+    run_clients([&](const la::Matrix& panel, la::index_t p) {
+      oracle[static_cast<std::size_t>(p)] = f.solve_columnwise(panel);
+    });
+    out.oracle_seconds = timer.seconds();
+    out.speedup_vs_oracle =
+        out.blocked_seconds > 0.0 ? out.oracle_seconds / out.blocked_seconds : 0.0;
+    for (la::index_t p = 0; p < num_panels; ++p) {
+      const la::Matrix& xb = blocked[static_cast<std::size_t>(p)];
+      const la::Matrix& xo = oracle[static_cast<std::size_t>(p)];
+      for (la::index_t j = 0; j < xb.cols(); ++j)
+        for (la::index_t i = 0; i < xb.rows(); ++i)
+          out.max_col_diff =
+              std::max(out.max_col_diff, std::abs(xb(i, j) - xo(i, j)));
+    }
+  }
+
+  std::vector<double> b0(static_cast<std::size_t>(cfg.n));
+  for (la::index_t i = 0; i < cfg.n; ++i) b0[static_cast<std::size_t>(i)] = b(i, 0);
+  out.solve_error = ulv::ulv_solve_error(h, f, b0);
   return out;
 }
 

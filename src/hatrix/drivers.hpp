@@ -80,6 +80,7 @@ struct ConstructionOutcome {
   la::index_t rank_used = 0;       ///< largest basis rank in the built matrix
   la::index_t max_samples = 0;     ///< largest per-node column sample the guard grew to
   la::index_t guard_growths = 0;   ///< guard-triggered growth rounds (all nodes)
+  la::index_t rank_escapes = 0;    ///< guard rank-cap escalations past max_rank
   double worst_residual = 0.0;     ///< largest accepted guard probe residual
   std::int64_t build_tasks = 0;    ///< construction DAG size
   std::int64_t factor_tasks = 0;   ///< factorization DAG size
@@ -88,5 +89,42 @@ struct ConstructionOutcome {
 /// Run one construction experiment. Throws fmt::BasisUnderResolvedError if
 /// the guard cap is hit (see hss_builder.hpp).
 ConstructionOutcome run_construction(const ConstructionExperiment& cfg);
+
+/// One solve-throughput run: factorize once, then stream `solves` right-hand
+/// sides through the shared, immutable factorization in panels of `batch`
+/// columns, split across `clients` concurrent threads (each solving whole
+/// panels; no locking anywhere — HSSULV::solve is const and race-free).
+/// When `compare_oracle` is set, the same workload additionally runs through
+/// the per-column oracle (HSSULV::solve_columnwise) so the blocked path's
+/// speedup and bit-identity can be reported.
+struct SolveThroughputExperiment {
+  std::string kernel = "yukawa";   ///< kernel name (kernels::make_kernel)
+  la::index_t n = 2048;            ///< problem size
+  la::index_t leaf_size = 256;     ///< HSS leaf block size
+  la::index_t max_rank = 60;       ///< rank cap for every basis
+  la::index_t sample_cols = 256;   ///< initial per-node column sample (0: exact)
+  double guard_tol = 1e-4;         ///< accuracy-guard tolerance (0: off)
+  std::uint64_t seed = 42;         ///< sampling / RHS seed
+  la::index_t batch = 16;          ///< RHS panel width per solve call
+  int clients = 1;                 ///< concurrent solver threads
+  la::index_t solves = 64;         ///< total RHS columns solved (all clients)
+  bool compare_oracle = true;      ///< also time the column-loop oracle
+};
+
+/// Observables of one solve-throughput run.
+struct SolveThroughputOutcome {
+  double build_seconds = 0.0;      ///< HSS construction wall time
+  double factor_seconds = 0.0;     ///< ULV factorization wall time
+  double blocked_seconds = 0.0;    ///< wall time of all solves, blocked path
+  double oracle_seconds = 0.0;     ///< wall time, column-loop oracle (0: skipped)
+  double solves_per_second = 0.0;  ///< solved columns / blocked wall time
+  double speedup_vs_oracle = 0.0;  ///< oracle_seconds / blocked_seconds (0: skipped)
+  double max_col_diff = 0.0;       ///< max |blocked - oracle| (bit-identity: 0)
+  double solve_error = 0.0;        ///< Eq. 19 relative error of one solved column
+  la::index_t rank_used = 0;       ///< largest basis rank in the built matrix
+};
+
+/// Run one solve-throughput experiment.
+SolveThroughputOutcome run_solve_throughput(const SolveThroughputExperiment& cfg);
 
 }  // namespace hatrix::driver

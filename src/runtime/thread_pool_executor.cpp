@@ -32,7 +32,8 @@ ThreadPoolExecutor::ThreadPoolExecutor(int num_workers)
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
-ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph) {
+ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
+                                       std::exception_ptr* error_out) {
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;
@@ -80,6 +81,10 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph) {
         try {
           task.work();
         } catch (...) {
+          // Stamp the end time before recording the error: the failing
+          // task's trace must report a real (non-negative) duration so the
+          // compute_total/overhead accounting stays meaningful.
+          trace.end = now_seconds();
           std::lock_guard<std::mutex> lock(mu);
           if (!first_error) first_error = std::current_exception();
           cv.notify_all();
@@ -106,11 +111,17 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph) {
   for (int w = 0; w < num_workers_; ++w) workers.emplace_back(worker_fn, w);
   for (auto& w : workers) w.join();
 
-  if (first_error) std::rethrow_exception(first_error);
-
   stats.wall_time = now_seconds();
   for (const auto& tr : stats.traces) stats.compute_total += tr.duration();
   stats.overhead_total = stats.wall_time * num_workers_ - stats.compute_total;
+
+  if (first_error) {
+    if (error_out != nullptr) {
+      *error_out = first_error;
+      return stats;
+    }
+    std::rethrow_exception(first_error);
+  }
   return stats;
 }
 

@@ -8,6 +8,8 @@
 /// start a parent HSS level before the child level has fully finished
 /// (Sec. 4.2).
 
+#include <exception>
+
 #include "runtime/task_graph.hpp"
 #include "runtime/trace.hpp"
 
@@ -22,8 +24,12 @@ class ThreadPoolExecutor {
 
   /// Run every task in the graph respecting dependencies; returns the
   /// execution statistics (trace + compute/overhead breakdown). Exceptions
-  /// thrown by task bodies are captured and rethrown after draining.
-  ExecutionStats run(const TaskGraph& graph);
+  /// thrown by task bodies are captured and rethrown after draining — the
+  /// failing task's trace is still end-stamped so compute/overhead
+  /// accounting never sees a negative duration. When `error_out` is
+  /// non-null, a captured exception is stored there instead of rethrown and
+  /// the (partial) statistics are returned.
+  ExecutionStats run(const TaskGraph& graph, std::exception_ptr* error_out = nullptr);
 
   /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }

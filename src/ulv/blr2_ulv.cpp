@@ -98,6 +98,44 @@ std::vector<double> BLR2ULV::solve(const std::vector<double>& b) const {
   return x;
 }
 
+Matrix BLR2ULV::solve(const Matrix& b) const {
+  const fmt::BLR2Matrix& a = *a_;
+  const index_t n = a.size(), p = a.num_blocks();
+  HATRIX_CHECK(b.rows() == n, "solve: rhs row count mismatch");
+  const index_t nrhs = b.cols();
+  if (nrhs == 0) return Matrix(n, 0);
+
+  // Forward: per-block panel rotate + eliminate; gather skeleton panels.
+  std::vector<NodeForwardPanel> fwd(static_cast<std::size_t>(p));
+  const index_t total = skel_offset_[static_cast<std::size_t>(p)];
+  Matrix z(total, nrhs);
+  for (index_t i = 0; i < p; ++i) {
+    const auto& nd = a.node(i);
+    fwd[static_cast<std::size_t>(i)] =
+        forward_step_panel(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
+                           b.block(nd.begin, 0, nd.block_size(), nrhs));
+    const Matrix& zs = fwd[static_cast<std::size_t>(i)].z_s;
+    if (zs.rows() > 0)
+      la::copy(zs.view(),
+               z.block(skel_offset_[static_cast<std::size_t>(i)], 0, zs.rows(), nrhs));
+  }
+
+  // Coupled skeleton solve on the whole panel.
+  if (total > 0) la::potrs(merged_l_.view(), z.view());
+
+  // Backward: reconstruct block-local solution panels in place.
+  Matrix x(n, nrhs);
+  for (index_t i = 0; i < p; ++i) {
+    const auto& nd = a.node(i);
+    const index_t oi = skel_offset_[static_cast<std::size_t>(i)];
+    const index_t ki = a.node(i).rank;
+    backward_step_panel(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
+                        fwd[static_cast<std::size_t>(i)], z.block(oi, 0, ki, nrhs),
+                        x.block(nd.begin, 0, nd.block_size(), nrhs));
+  }
+  return x;
+}
+
 std::int64_t BLR2ULV::memory_bytes() const {
   std::int64_t total = merged_l_.bytes();
   for (const auto& f : factors_)

@@ -17,6 +17,10 @@
 namespace hatrix::ulv {
 
 /// Factored form of an SPD BLR² matrix.
+///
+/// Immutable once factorized: all solve entry points are const and keep
+/// their workspace on the caller's stack frame, so threads may share one
+/// factorization and solve concurrently (same contract as HSSULV).
 class BLR2ULV {
  public:
   BLR2ULV() = default;
@@ -30,6 +34,11 @@ class BLR2ULV {
 
   /// Solve A x = b (Eq. 15).
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Blocked multi-RHS solve A X = B: per-block rotations and triangular
+  /// solves applied to the whole RHS panel (gemm/trsm), merged skeleton
+  /// solve on the full panel. Column j is bit-identical to solve(column j).
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
 
   [[nodiscard]] std::int64_t memory_bytes() const;
 

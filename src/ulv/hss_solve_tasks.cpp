@@ -6,11 +6,19 @@
 
 namespace hatrix::ulv {
 
-HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& b,
+std::vector<double> HSSSolveTaskState::x_col(la::index_t j) const {
+  HATRIX_CHECK(j >= 0 && j < x.cols(), "x_col: column out of range");
+  std::vector<double> out(static_cast<std::size_t>(x.rows()));
+  for (index_t i = 0; i < x.rows(); ++i) out[static_cast<std::size_t>(i)] = x(i, j);
+  return out;
+}
+
+HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
                                rt::TaskGraph& graph) {
   const fmt::HSSMatrix& a = factor.matrix();
   const index_t n = a.size();
-  HATRIX_CHECK(static_cast<index_t>(b.size()) == n, "solve dag: rhs length mismatch");
+  HATRIX_CHECK(b.rows == n, "solve dag: rhs row count mismatch");
+  const index_t nrhs = b.cols;
   const int L = a.max_level();
 
   HSSSolveDag dag;
@@ -21,15 +29,15 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
   st.rhs.resize(static_cast<std::size_t>(L) + 1);
   st.fwd.resize(static_cast<std::size_t>(L) + 1);
   st.sol.resize(static_cast<std::size_t>(L) + 1);
-  st.x.assign(static_cast<std::size_t>(n), 0.0);
+  st.x = Matrix(n, nrhs);
   for (int l = 0; l <= L; ++l) {
     st.rhs[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
     st.fwd[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
     st.sol[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(a.num_nodes(l)));
   }
 
-  // Data handles per node: the local RHS (written by gather), the forward
-  // result, and the local solution.
+  // Data handles per node: the local RHS panel (written by gather), the
+  // forward result, and the local solution panel.
   std::vector<std::vector<rt::DataId>> rhs_d(static_cast<std::size_t>(L) + 1);
   std::vector<std::vector<rt::DataId>> fwd_d(static_cast<std::size_t>(L) + 1);
   std::vector<std::vector<rt::DataId>> sol_d(static_cast<std::size_t>(L) + 1);
@@ -37,35 +45,35 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
     for (index_t i = 0; i < a.num_nodes(l); ++i) {
       const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
       const index_t k = a.node(l, i).rank;
+      const index_t bytes = 8 * std::max<index_t>(k, 1) * std::max<index_t>(nrhs, 1);
       rhs_d[static_cast<std::size_t>(l)].push_back(
-          graph.register_data("rhs" + tag, 8 * std::max<index_t>(k, 1)));
+          graph.register_data("rhs" + tag, bytes));
       fwd_d[static_cast<std::size_t>(l)].push_back(
-          graph.register_data("fwd" + tag, 8 * std::max<index_t>(k, 1)));
+          graph.register_data("fwd" + tag, bytes));
       sol_d[static_cast<std::size_t>(l)].push_back(
-          graph.register_data("sol" + tag, 8 * std::max<index_t>(k, 1)));
+          graph.register_data("sol" + tag, bytes));
     }
   }
 
   auto stp = dag.state;
 
   if (L == 0) {
+    st.x = Matrix::from_view(b);
     graph.insert_task(
-        "ROOT_SOLVE", "potrs", {n},
-        [stp, b] {
-          stp->x = b;
-          la::MatrixView xv{stp->x.data(), static_cast<index_t>(stp->x.size()), 1,
-                            static_cast<index_t>(stp->x.size())};
-          la::potrs(stp->factor->root_factor().view(), xv);
+        "ROOT_SOLVE", "potrs", {n, nrhs},
+        [stp] {
+          if (stp->x.rows() > 0 && stp->x.cols() > 0)
+            la::potrs(stp->factor->root_factor().view(), stp->x.view());
         },
         {{sol_d[0][0], rt::Access::ReadWrite}}, 0, 0);
     return dag;
   }
 
-  // Seed leaf RHS segments.
+  // Seed leaf RHS panels.
   for (index_t i = 0; i < a.num_nodes(L); ++i) {
     const auto& nd = a.node(L, i);
-    st.rhs[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)]
-        .assign(b.begin() + nd.begin, b.begin() + nd.end);
+    st.rhs[static_cast<std::size_t>(L)][static_cast<std::size_t>(i)] =
+        Matrix::from_view(b.block(nd.begin, 0, nd.block_size(), nrhs));
   }
 
   // Forward sweep + gathers, leaves to root.
@@ -81,9 +89,9 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
           [stp, li, ii] {
             auto& lvl_rhs = stp->rhs[static_cast<std::size_t>(li)];
             stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
-                forward_step(stp->factor->factor(li, ii),
-                             stp->a->node(li, ii).basis.view(),
-                             lvl_rhs[static_cast<std::size_t>(ii)].data());
+                forward_step_panel(stp->factor->factor(li, ii),
+                                   stp->a->node(li, ii).basis.view(),
+                                   lvl_rhs[static_cast<std::size_t>(ii)].view());
           },
           {{rhs_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::Read},
@@ -99,14 +107,17 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
           "GATHER" + tag, "gather",
           {a.node(l, 2 * t).rank, a.node(l, 2 * t + 1).rank},
           [stp, li, tt] {
-            const auto& z0 =
+            const Matrix& z0 =
                 stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(2 * tt)].z_s;
-            const auto& z1 =
+            const Matrix& z1 =
                 stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(2 * tt + 1)].z_s;
-            auto& up = stp->rhs[static_cast<std::size_t>(li) - 1][static_cast<std::size_t>(tt)];
-            up.clear();
-            up.insert(up.end(), z0.begin(), z0.end());
-            up.insert(up.end(), z1.begin(), z1.end());
+            Matrix up(z0.rows() + z1.rows(), stp->x.cols());
+            if (z0.rows() > 0)
+              la::copy(z0.view(), up.block(0, 0, z0.rows(), up.cols()));
+            if (z1.rows() > 0)
+              la::copy(z1.view(), up.block(z0.rows(), 0, z1.rows(), up.cols()));
+            stp->rhs[static_cast<std::size_t>(li) - 1][static_cast<std::size_t>(tt)] =
+                std::move(up);
           },
           {{fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)],
             rt::Access::Read},
@@ -118,18 +129,14 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
     }
   }
 
-  // Root dense solve.
+  // Root dense solve on the whole panel.
   graph.insert_task(
-      "ROOT_SOLVE", "potrs", {a.node(1, 0).rank + a.node(1, 1).rank},
+      "ROOT_SOLVE", "potrs", {a.node(1, 0).rank + a.node(1, 1).rank, nrhs},
       [stp] {
-        auto& z = stp->rhs[0][0];
-        stp->sol[0][0] = z;
-        if (!stp->sol[0][0].empty()) {
-          la::MatrixView xv{stp->sol[0][0].data(),
-                            static_cast<index_t>(stp->sol[0][0].size()), 1,
-                            static_cast<index_t>(stp->sol[0][0].size())};
-          la::potrs(stp->factor->root_factor().view(), xv);
-        }
+        Matrix z = Matrix::from_view(stp->rhs[0][0].view());
+        if (z.rows() > 0 && z.cols() > 0)
+          la::potrs(stp->factor->root_factor().view(), z.view());
+        stp->sol[0][0] = std::move(z);
       },
       {{rhs_d[0][0], rt::Access::Read}, {sol_d[0][0], rt::Access::ReadWrite}}, 0, L);
 
@@ -144,27 +151,27 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
       graph.insert_task(
           "BACKWARD" + tag, "bwd_solve", {f.m, f.k},
           [stp, li, ii] {
-            const auto& parent = stp->sol[static_cast<std::size_t>(li) - 1]
-                                         [static_cast<std::size_t>(ii / 2)];
-            const index_t k0 = stp->a->node(li, (ii / 2) * 2).rank;
+            const Matrix& parent = stp->sol[static_cast<std::size_t>(li) - 1]
+                                           [static_cast<std::size_t>(ii / 2)];
             const auto& fac = stp->factor->factor(li, ii);
-            std::vector<double> xs =
+            const index_t w = parent.cols();
+            const la::ConstMatrixView xs =
                 (ii % 2 == 0)
-                    ? std::vector<double>(parent.begin(), parent.begin() + fac.k)
-                    : std::vector<double>(parent.begin() + k0, parent.end());
-            stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
-                backward_step(fac, stp->a->node(li, ii).basis.view(),
-                              stp->fwd[static_cast<std::size_t>(li)]
-                                      [static_cast<std::size_t>(ii)],
-                              xs);
-            // Leaves write their segment of the global solution.
+                    ? parent.block(0, 0, fac.k, w)
+                    : parent.block(parent.rows() - fac.k, 0, fac.k, w);
+            const auto& fw = stp->fwd[static_cast<std::size_t>(li)]
+                                     [static_cast<std::size_t>(ii)];
             if (li == stp->a->max_level()) {
+              // Leaves write their row block of the global solution.
               const auto& nd = stp->a->node(li, ii);
-              const auto& xl =
-                  stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)];
-              for (index_t r = 0; r < nd.block_size(); ++r)
-                stp->x[static_cast<std::size_t>(nd.begin + r)] =
-                    xl[static_cast<std::size_t>(r)];
+              backward_step_panel(fac, stp->a->node(li, ii).basis.view(), fw, xs,
+                                  stp->x.block(nd.begin, 0, nd.block_size(), w));
+            } else {
+              Matrix xl(fac.m, w);
+              backward_step_panel(fac, stp->a->node(li, ii).basis.view(), fw, xs,
+                                  xl.view());
+              stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
+                  std::move(xl);
             }
           },
           {{sol_d[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(i / 2)],
@@ -177,6 +184,13 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& 
     }
   }
   return dag;
+}
+
+HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& b,
+                               rt::TaskGraph& graph) {
+  const la::ConstMatrixView bv{b.data(), static_cast<index_t>(b.size()), 1,
+                               static_cast<index_t>(b.size())};
+  return emit_hss_solve_dag(factor, bv, graph);
 }
 
 }  // namespace hatrix::ulv

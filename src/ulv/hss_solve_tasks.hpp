@@ -8,6 +8,10 @@
 /// dense root solve, SCATTER/BACKWARD walk back down. Dependencies again
 /// only cross levels through the gather/scatter, so an asynchronous runtime
 /// overlaps the sweeps of independent subtrees.
+///
+/// Tasks operate on whole RHS panels (n x nrhs): the single-vector overload
+/// is the nrhs = 1 special case of the same DAG, so the task path shares the
+/// blocked gemm/trsm kernels with HSSULV::solve(const Matrix&).
 
 #include <memory>
 
@@ -16,22 +20,33 @@
 
 namespace hatrix::ulv {
 
-/// Mutable state shared by the solve task closures.
+/// Mutable state shared by the solve task closures. One state per emitted
+/// DAG; the shared factorization itself is only ever read.
 struct HSSSolveTaskState {
   const fmt::HSSMatrix* a = nullptr;
   const HSSULV* factor = nullptr;
-  std::vector<std::vector<std::vector<double>>> rhs;   // [level][node] local b
-  std::vector<std::vector<NodeForward>> fwd;           // [level][node]
-  std::vector<std::vector<std::vector<double>>> sol;   // [level][node] local x
-  std::vector<double> x;                               // final solution
+  std::vector<std::vector<Matrix>> rhs;            // [level][node] local B panel
+  std::vector<std::vector<NodeForwardPanel>> fwd;  // [level][node]
+  std::vector<std::vector<Matrix>> sol;            // [level][node] local X panel
+  Matrix x;                                        // final solution (n x nrhs)
+
+  /// Column `j` of the solution panel as a plain vector (convenience for
+  /// the single-RHS overload and tests).
+  [[nodiscard]] std::vector<double> x_col(la::index_t j = 0) const;
 };
 
 struct HSSSolveDag {
   std::shared_ptr<HSSSolveTaskState> state;
 };
 
-/// Emit the solve DAG for `b` into `graph`; run it with any executor, then
-/// read `dag.state->x`. The result is identical to `factor.solve(b)`.
+/// Emit the blocked multi-RHS solve DAG for the panel `b` (n x nrhs) into
+/// `graph`; run it with any executor, then read `dag.state->x`. The result
+/// is bit-identical to `factor.solve(b)`.
+HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
+                               rt::TaskGraph& graph);
+
+/// Single-RHS convenience overload: the nrhs = 1 panel DAG. Read the
+/// solution via `dag.state->x_col()`.
 HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, const std::vector<double>& b,
                                rt::TaskGraph& graph);
 

@@ -18,6 +18,13 @@ namespace hatrix::ulv {
 
 /// The factored form of an SPD HSS matrix. Holds per-node partial factors
 /// plus the root Cholesky factor; solves run in O(N·rank).
+///
+/// Thread safety: a factorization is immutable once built. Every solve
+/// entry point is const, keeps all per-solve workspace (rotated RHS pieces,
+/// carried skeleton panels) in the caller's stack frame, and only reads the
+/// factor data — so any number of threads may call solve()/solve_refined()
+/// concurrently on one shared HSSULV with no synchronization and
+/// bit-identical results (test_concurrent_solve asserts this under TSan).
 class HSSULV {
  public:
   HSSULV() = default;
@@ -37,8 +44,20 @@ class HSSULV {
   /// Solve A x = b; returns x. `b.size()` must equal `a.size()`.
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
 
-  /// Solve A X = B column by column for a block of right-hand sides.
+  /// Solve A X = B for a whole panel of right-hand sides through the
+  /// blocked multi-RHS path: the level-by-level rotations and triangular
+  /// solves are applied to the entire panel via gemm/trsm, so each node's
+  /// factor blocks are streamed through the cache once per panel instead of
+  /// once per column. Column j of the result is bit-identical to
+  /// solve(column j) and to solve_columnwise(b) — the per-column operation
+  /// order is unchanged, only the blocking is.
   [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Test oracle: the pre-blocked column-by-column solve (one full
+  /// single-RHS sweep per column of B). Kept only so tests and
+  /// bench_solve_throughput can assert the blocked path is bit-identical
+  /// and measure its speedup; new code should call solve(const Matrix&).
+  [[nodiscard]] Matrix solve_columnwise(const Matrix& b) const;
 
   /// Solve with iterative refinement: after the direct ULV solve, perform
   /// `iterations` residual-correction steps r = b - A x (A applied through

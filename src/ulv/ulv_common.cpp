@@ -88,6 +88,54 @@ NodeForward forward_step(const NodeFactor& f, la::ConstMatrixView basis,
   return fw;
 }
 
+NodeForwardPanel forward_step_panel(const NodeFactor& f, la::ConstMatrixView basis,
+                                    la::ConstMatrixView b_local) {
+  HATRIX_CHECK(b_local.rows == f.m, "forward_step_panel: rhs panel row mismatch");
+  const index_t nrhs = b_local.cols;
+  NodeForwardPanel fw;
+  fw.z_r = Matrix(f.m - f.k, nrhs);
+  fw.z_s = Matrix(f.k, nrhs);
+  if (f.m - f.k > 0) {
+    la::gemm(1.0, f.q_comp.view(), la::Trans::Yes, b_local, la::Trans::No, 0.0,
+             fw.z_r.view());
+    // Z_R = L_RR^{-1} (Qᵀ B)
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0,
+             f.l_rr.view(), fw.z_r.view());
+  }
+  if (f.k > 0) {
+    la::gemm(1.0, basis, la::Trans::Yes, b_local, la::Trans::No, 0.0, fw.z_s.view());
+    if (f.m - f.k > 0)
+      la::gemm(-1.0, f.l_sr.view(), la::Trans::No, fw.z_r.view(), la::Trans::No, 1.0,
+               fw.z_s.view());
+  }
+  return fw;
+}
+
+void backward_step_panel(const NodeFactor& f, la::ConstMatrixView basis,
+                         const NodeForwardPanel& fw, la::ConstMatrixView x_s,
+                         la::MatrixView x_out) {
+  HATRIX_CHECK(x_s.rows == f.k, "backward_step_panel: skeleton panel row mismatch");
+  HATRIX_CHECK(x_out.rows == f.m && x_out.cols == x_s.cols,
+               "backward_step_panel: output shape mismatch");
+  if (f.m - f.k > 0) {
+    // X_R = L_RRᵀ^{-1} (Z_R - L_SRᵀ X_S)
+    Matrix rhs = Matrix::from_view(fw.z_r.view());
+    if (f.k > 0)
+      la::gemm(-1.0, f.l_sr.view(), la::Trans::Yes, x_s, la::Trans::No, 1.0,
+               rhs.view());
+    la::trsm(la::Side::Left, la::UpLo::Lower, la::Trans::Yes, la::Diag::NonUnit, 1.0,
+             f.l_rr.view(), rhs.view());
+    la::gemm(1.0, f.q_comp.view(), la::Trans::No, rhs.view(), la::Trans::No, 0.0,
+             x_out);
+    if (f.k > 0)
+      la::gemm(1.0, basis, la::Trans::No, x_s, la::Trans::No, 1.0, x_out);
+  } else if (f.k > 0) {
+    la::gemm(1.0, basis, la::Trans::No, x_s, la::Trans::No, 0.0, x_out);
+  } else {
+    la::fill(x_out, 0.0);
+  }
+}
+
 std::vector<double> backward_step(const NodeFactor& f, la::ConstMatrixView basis,
                                   const NodeForward& fw,
                                   const std::vector<double>& x_s) {

@@ -77,4 +77,28 @@ std::vector<double> backward_step(const NodeFactor& f, la::ConstMatrixView basis
                                   const NodeForward& fw,
                                   const std::vector<double>& x_s);
 
+/// Forward-solve bookkeeping for a whole RHS panel at one node. The panel
+/// analogue of NodeForward: each column is one right-hand side, and the
+/// rotations / triangular solves are applied to all of them at once
+/// (gemm/trsm instead of per-column gemv/trsv), which streams the node's
+/// factor blocks through the cache once per panel instead of once per RHS.
+struct NodeForwardPanel {
+  Matrix z_r;  ///< (m-k) x nrhs: L_RR^{-1} Qᵀ B
+  Matrix z_s;  ///< k x nrhs: Uˢᵀ B - L_SR Z_R, passed up
+};
+
+/// Panel forward step: forward_step applied to every column of `b_local`
+/// ((m x nrhs) view) in blocked form. Column j of the result equals
+/// forward_step on column j of the panel exactly (same operation order per
+/// column), so blocked and per-column solves are bit-identical.
+NodeForwardPanel forward_step_panel(const NodeFactor& f, la::ConstMatrixView basis,
+                                    la::ConstMatrixView b_local);
+
+/// Panel backward step: reconstruct the node-local solution panel
+/// X = Uᴿ X_R + Uˢ X_S (m x nrhs) into `x_out` from the skeleton solution
+/// panel `x_s` (k x nrhs).
+void backward_step_panel(const NodeFactor& f, la::ConstMatrixView basis,
+                         const NodeForwardPanel& fw, la::ConstMatrixView x_s,
+                         la::MatrixView x_out);
+
 }  // namespace hatrix::ulv

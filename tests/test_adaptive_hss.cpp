@@ -159,6 +159,35 @@ TEST(GuardedBuild, TypedErrorPropagatesThroughExecutor) {
       fmt::BasisUnderResolvedError);
 }
 
+TEST(GuardedBuild, RankEscapeLiftsRankPastCapWhenFloorBinds) {
+  // max_rank far below what the matern blocks need: the probe residual pins
+  // at the rank-truncation floor no matter how many columns are sampled.
+  // With the escape enabled the guard raises the offending nodes' rank caps
+  // and the build succeeds; with it disabled the same configuration runs the
+  // sample to its cap and throws.
+  Problem p(2048, 256, "matern", 1e-4, /*scattered=*/true);
+  fmt::KernelAccessor acc(*p.km);
+  const fmt::HSSOptions opts{.leaf_size = 256, .max_rank = 20,
+                             .sample_cols = 256, .guard_tol = 1e-4,
+                             .max_sample_cols = 1024};
+
+  rt::TaskGraph graph;
+  fmt::HSSBuildDag dag = fmt::emit_hss_build_dag(acc, opts, graph);
+  for (const auto& t : graph.tasks()) t.work();
+  auto rep = fmt::build_report(dag);
+  fmt::HSSMatrix h = fmt::extract_built_hss(dag);
+
+  EXPECT_GT(rep.rank_escapes, 0);
+  EXPECT_GT(h.max_rank_used(), opts.max_rank);
+  // The escaped build must actually deliver guard-level accuracy.
+  Matrix a = p.km->dense();
+  EXPECT_LT(la::rel_error(a.view(), h.dense().view()), 1e-3);
+
+  fmt::HSSOptions no_escape = opts;
+  no_escape.rank_escape = false;
+  EXPECT_THROW(fmt::build_hss(acc, no_escape), fmt::BasisUnderResolvedError);
+}
+
 TEST(BuildDag, StructureMatchesTree) {
   Problem p(1024, 128, "yukawa");
   fmt::KernelAccessor acc(*p.km);

@@ -1,0 +1,179 @@
+// Concurrency contract of the solve path: a factorization is immutable once
+// built, every solve entry point is const with caller-local workspace, and
+// the SolverCache builds each key exactly once under concurrent demand.
+// scripts/check.sh additionally builds and runs this suite under
+// ThreadSanitizer — the assertions here double as the race detector's
+// workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "format/accessor.hpp"
+#include "format/hss_builder.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "hatrix/solver_cache.hpp"
+#include "kernels/kernel_matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "ulv/hss_ulv.hpp"
+
+namespace hatrix {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+struct Problem {
+  geom::Domain domain;
+  std::unique_ptr<geom::ClusterTree> tree;
+  std::unique_ptr<kernels::Kernel> kernel;
+  std::unique_ptr<kernels::KernelMatrix> km;
+
+  explicit Problem(index_t n, index_t leaf = 128) {
+    domain = geom::grid2d(n);
+    tree = std::make_unique<geom::ClusterTree>(domain, leaf);
+    kernel = kernels::make_kernel("yukawa");
+    km = std::make_unique<kernels::KernelMatrix>(*kernel, tree->points());
+  }
+};
+
+TEST(ConcurrentSolve, ManyThreadsShareOneFactorizationBitIdentically) {
+  Problem p(1024);
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 128, .max_rank = 30, .tol = 0.0});
+  const ulv::HSSULV f = ulv::HSSULV::factorize(h);
+
+  constexpr int kThreads = 8;
+  Rng rng(123);
+  // Every thread gets its own RHS panel; the serial reference is computed
+  // first, then all threads solve concurrently against the shared factor.
+  std::vector<Matrix> rhs, reference;
+  for (int t = 0; t < kThreads; ++t) {
+    rhs.push_back(Matrix::random_normal(rng, 1024, 4));
+    reference.push_back(f.solve(rhs.back()));
+  }
+
+  std::vector<Matrix> concurrent(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      concurrent[static_cast<std::size_t>(t)] =
+          f.solve(rhs[static_cast<std::size_t>(t)]);
+    });
+  for (auto& th : pool) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const Matrix& a = reference[static_cast<std::size_t>(t)];
+    const Matrix& b = concurrent[static_cast<std::size_t>(t)];
+    for (index_t j = 0; j < a.cols(); ++j)
+      for (index_t i = 0; i < a.rows(); ++i)
+        ASSERT_EQ(a(i, j), b(i, j)) << "thread " << t;
+  }
+}
+
+TEST(ConcurrentSolve, MixedVectorAndPanelSolvesShareOneFactorization) {
+  Problem p(512, 64);
+  fmt::KernelAccessor acc(*p.km);
+  auto h = fmt::build_hss(acc, {.leaf_size = 64, .max_rank = 25, .tol = 0.0});
+  const ulv::HSSULV f = ulv::HSSULV::factorize(h);
+
+  Rng rng(321);
+  std::vector<double> bv = rng.normal_vector(512);
+  Matrix bp = Matrix::random_normal(rng, 512, 3);
+  const std::vector<double> xv_ref = f.solve(bv);
+  const Matrix xp_ref = f.solve(bp);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> pool;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        std::vector<double> x = f.solve(bv);
+        for (std::size_t i = 0; i < x.size(); ++i)
+          if (x[i] != xv_ref[i]) mismatches.fetch_add(1);
+      } else {
+        Matrix x = f.solve(bp);
+        for (index_t j = 0; j < x.cols(); ++j)
+          for (index_t i = 0; i < x.rows(); ++i)
+            if (x(i, j) != xp_ref(i, j)) mismatches.fetch_add(1);
+      }
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentSolve, SolverCacheBuildsEachKeyOnce) {
+  driver::SolverCache cache(4);
+  Rng key_rng(7);
+  geom::Domain pts = geom::random2d(64, key_rng);
+  const fmt::HSSOptions opts{.leaf_size = 32, .max_rank = 16};
+  const driver::SolverKey key = driver::make_solver_key("test", pts.points, opts);
+
+  std::atomic<int> builds{0};
+  auto builder = [&](fmt::HSSBuildReport&) {
+    builds.fetch_add(1);
+    Rng rng(5);
+    return fmt::make_random_spd_hss(256, 64, 16, rng);
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const driver::FactoredOperator>> got(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back(
+        [&, t] { got[static_cast<std::size_t>(t)] = cache.get_or_build(key, builder); });
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[0].get(), got[static_cast<std::size_t>(t)].get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+
+  // And the shared operator solves concurrently, bit-identically.
+  Rng rng(9);
+  std::vector<double> b = rng.normal_vector(256);
+  const std::vector<double> x_ref = got[0]->factorization().solve(b);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> solvers;
+  for (int t = 0; t < 4; ++t)
+    solvers.emplace_back([&] {
+      std::vector<double> x = got[0]->factorization().solve(b);
+      for (std::size_t i = 0; i < x.size(); ++i)
+        if (x[i] != x_ref[i]) mismatches.fetch_add(1);
+    });
+  for (auto& th : solvers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentSolve, DistinctKeysBuildInParallel) {
+  driver::SolverCache cache(8);
+  std::atomic<int> builds{0};
+  constexpr int kKeys = 4;
+  std::vector<std::thread> pool;
+  std::atomic<int> failures{0};
+  for (int k = 0; k < kKeys; ++k)
+    pool.emplace_back([&, k] {
+      driver::SolverKey key;
+      key.kernel = "k" + std::to_string(k);
+      key.n = 128;
+      auto op = cache.get_or_build(key, [&](fmt::HSSBuildReport&) {
+        builds.fetch_add(1);
+        Rng rng(static_cast<std::uint64_t>(k));
+        return fmt::make_random_spd_hss(128, 64, 8, rng);
+      });
+      if (op == nullptr) failures.fetch_add(1);
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(builds.load(), kKeys);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.stats().size, static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace hatrix

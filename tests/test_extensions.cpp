@@ -122,7 +122,7 @@ TEST_P(SolveDagWorkers, MatchesSequentialSolve) {
   rt::ThreadPoolExecutor ex(workers);
   auto stats = ex.run(graph);
   EXPECT_EQ(rt::validate_trace(graph, stats), "");
-  EXPECT_LT(vec_rel_err(x_ref, dag.state->x), 1e-14);
+  EXPECT_LT(vec_rel_err(x_ref, dag.state->x_col()), 1e-14);
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, SolveDagWorkers, ::testing::Values(1, 4));
@@ -137,7 +137,7 @@ TEST(SolveDag, ForkJoinExecutorWorksToo) {
   auto dag = ulv::emit_hss_solve_dag(f, b, graph);
   rt::ForkJoinExecutor ex(2);
   (void)ex.run(graph);
-  EXPECT_LT(vec_rel_err(x_ref, dag.state->x), 1e-14);
+  EXPECT_LT(vec_rel_err(x_ref, dag.state->x_col()), 1e-14);
 }
 
 TEST(SolveDag, DegenerateSingleLevel) {
@@ -151,7 +151,7 @@ TEST(SolveDag, DegenerateSingleLevel) {
   auto dag = ulv::emit_hss_solve_dag(f, b, graph);
   rt::ThreadPoolExecutor ex(1);
   (void)ex.run(graph);
-  EXPECT_LT(vec_rel_err(x_ref, dag.state->x), 1e-14);
+  EXPECT_LT(vec_rel_err(x_ref, dag.state->x_col()), 1e-14);
 }
 
 TEST(Ptg, LocalDiscoveryBeatsDtdAtScale) {

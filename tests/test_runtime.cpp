@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "runtime/fork_join_executor.hpp"
 #include "runtime/task_graph.hpp"
@@ -163,6 +165,32 @@ TEST(ThreadPoolExecutor, PropagatesTaskExceptions) {
                 {{d, Access::ReadWrite}});
   ThreadPoolExecutor ex(2);
   EXPECT_THROW((void)ex.run(g), Error);
+}
+
+TEST(ThreadPoolExecutor, ThrowingTaskStillGetsEndStamped) {
+  // Regression: the exception path used to return without stamping the
+  // failing task's trace.end, leaving a negative duration that poisoned the
+  // compute/overhead accounting. error_out lets the caller observe the
+  // statistics instead of losing them to the rethrow.
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  g.insert_task("slow_boom", "k", {},
+                [] {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                  throw Error("boom");
+                },
+                {{d, Access::ReadWrite}});
+  ThreadPoolExecutor ex(1);
+  std::exception_ptr err;
+  auto stats = ex.run(g, &err);
+  ASSERT_TRUE(err != nullptr);
+  EXPECT_THROW(std::rethrow_exception(err), Error);
+  ASSERT_EQ(stats.traces.size(), 1u);
+  const auto& tr = stats.traces[0];
+  EXPECT_GE(tr.end, tr.start);
+  EXPECT_GT(tr.duration(), 0.0);
+  EXPECT_GT(stats.wall_time, 0.0);
+  EXPECT_GE(stats.compute_total, 0.0);
 }
 
 TEST(ThreadPoolExecutor, EmptyGraph) {
