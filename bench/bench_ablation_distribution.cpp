@@ -4,13 +4,15 @@
 // HATRIX-DTD's row-cyclic layout vs a ScaLAPACK-style block-cyclic deal.
 // Reports messages, bytes, and simulated factorization time; row-cyclic
 // should ship less data and run faster, which is exactly why the paper
-// chose it.
+// chose it. --verify-dag statically verifies the emitted DAG
+// (runtime/dag_verify.hpp) before it is mapped and simulated.
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "distsim/des.hpp"
 #include "format/hss_builder.hpp"
+#include "runtime/dag_verify.hpp"
 #include "ulv/hss_ulv_tasks.hpp"
 
 using namespace hatrix;
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 100);
   auto nodes_list = cli.get_int_list("nodes", {4, 16, 64});
+  const bool verify = cli.has("verify-dag");
   cli.reject_unknown();
 
   std::printf("Ablation: HSS-ULV data distribution (N=%lld leaf=%lld rank=%lld)\n\n",
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
     for (int policy = 0; policy < 2; ++policy) {
       rt::TaskGraph graph;
       auto dag = ulv::emit_hss_ulv_dag(skel, graph, false);
+      if (verify) (void)rt::verify_dag(graph);
       distsim::Mapping map =
           policy == 0 ? distsim::map_hss_row_cyclic(dag, graph, static_cast<int>(nodes))
                       : distsim::map_hss_block_cyclic(dag, graph, static_cast<int>(nodes));

@@ -5,12 +5,19 @@
 // Also sweeps the DTD discovery constant to show where async loses its
 // edge — the paper's Sec. 5.3.3 observation that DTD's whole-graph
 // discovery is HATRIX's own scaling limit (and why PTG would be better).
+//
+// --verify-dag additionally times the static race & ordering verifier
+// (runtime/dag_verify.hpp) on each emitted DAG and prints an Ablation C
+// table: verifier wall time vs DAG size, the overhead figure quoted in
+// docs/BENCHMARKS.md.
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "distsim/des.hpp"
 #include "format/hss_builder.hpp"
+#include "runtime/dag_verify.hpp"
 #include "ulv/hss_ulv_tasks.hpp"
 
 using namespace hatrix;
@@ -20,6 +27,7 @@ int main(int argc, char** argv) {
   const la::index_t leaf = cli.get_int("leaf", 256);
   const la::index_t rank = cli.get_int("rank", 100);
   auto nodes_list = cli.get_int_list("nodes", {2, 8, 32, 128});
+  const bool verify = cli.has("verify-dag");
   cli.reject_unknown();
 
   std::printf("Ablation A: async vs fork-join, same DAG, same distribution\n");
@@ -70,5 +78,25 @@ int main(int argc, char** argv) {
   std::printf(
       "A PTG-style interface (local-only task generation) corresponds to the\n"
       "discovery=0 row — the paper's suggested future improvement.\n");
+
+  if (verify) {
+    std::printf("\nAblation C: static DAG verifier cost (dag_verify) vs DAG size\n");
+    TextTable tc({"N", "tasks", "edges", "crit path", "max width", "verify (ms)",
+                  "us/task"});
+    for (auto nodes : nodes_list) {
+      const la::index_t n = 2048 * nodes;
+      fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, leaf, rank);
+      rt::TaskGraph graph;
+      (void)ulv::emit_hss_ulv_dag(skel, graph, false);
+      WallTimer t;
+      rt::DagStats s = rt::verify_dag(graph);
+      const double ms = t.seconds() * 1e3;
+      tc.add_row({std::to_string(n), std::to_string(s.tasks),
+                  std::to_string(s.edges), std::to_string(s.critical_path),
+                  std::to_string(s.max_width), fmt_fixed(ms, 3),
+                  fmt_fixed(ms * 1e3 / static_cast<double>(s.tasks), 3)});
+    }
+    std::printf("%s\n", tc.to_string().c_str());
+  }
   return 0;
 }

@@ -9,7 +9,12 @@
 //
 //   ./bench_construction [--n 8192] [--leaf 256] [--rank 80] [--tol 0]
 //                        [--kernel yukawa] [--samples 512] [--guard-tol 1e-4]
-//                        [--max-workers 8] [--csv]
+//                        [--max-workers 8] [--csv] [--verify-dag]
+//
+// --verify-dag statically verifies both task graphs (construction and
+// factorization) against their declared access sets before execution
+// (runtime/dag_verify.hpp): any unordered conflicting task pair aborts the
+// run with a typed DagRaceError instead of racing.
 //
 // Workers sweep 1, 2, 4, ... up to --max-workers; speedup is relative to
 // the 1-worker run of the same DAG (not the sequential builder, which is
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   cfg.guard_tol = cli.get_double("guard-tol", 1e-4);
   const int max_workers = static_cast<int>(cli.get_int("max-workers", 8));
   const bool csv = cli.has("csv");
+  cfg.verify_dag = cli.has("verify-dag");
   cli.reject_unknown();
 
   std::printf(

@@ -6,7 +6,9 @@
 // emit_hss_ulv_dag tasks execute real kernels through the thread-pool
 // executor, and the result is verified against the sequential factorization.
 // Optional outputs: --trace-json FILE dumps a Chrome/Perfetto trace of the
-// async execution; --dot FILE dumps the DAG as Graphviz (small N advised).
+// async execution; --dot FILE dumps the DAG as Graphviz (small N advised);
+// --verify-dag statically verifies the DAG (runtime/dag_verify.hpp) before
+// each executor runs it.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
   };
   const std::string trace_json = out_path("trace-json", "trace.json");
   const std::string dot_file = out_path("dot", "dag.dot");
+  const bool verify = cli.has("verify-dag");
   cli.reject_unknown();
 
   std::printf("Shared-memory HSS-ULV: N=%lld leaf=%lld rank=%lld, %d workers\n",
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   auto x_ref = f_seq.solve(b);
 
   auto run_with = [&](const char* name, auto&& executor) {
+    if (verify) executor.set_verify_dag(true);
     rt::TaskGraph graph;
     auto dag = ulv::emit_hss_ulv_dag(h, graph, /*with_work=*/true);
     WallTimer t;

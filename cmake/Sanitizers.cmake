@@ -1,0 +1,47 @@
+# Sanitizer toggle for the whole tree.
+#
+#   cmake -B build-asan -S . -DHATRIX_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DHATRIX_SANITIZE=thread
+#
+# HATRIX_SANITIZE is a comma- (or semicolon-) separated subset of
+# {address, undefined, thread, leak}. Unlike hand-passing -fsanitize=...
+# through CMAKE_CXX_FLAGS (the old scripts/check.sh approach), this module
+# composes with the build type: the default optimization, debug-info, and
+# warning flags all stay in force. Include it from the top-level
+# CMakeLists.txt before any target is defined.
+
+set(HATRIX_SANITIZE "" CACHE STRING
+  "Sanitizers to enable: comma-separated subset of address;undefined;thread;leak")
+
+if(HATRIX_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
+    message(FATAL_ERROR "HATRIX_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+
+  string(REPLACE "," ";" _hatrix_san_list "${HATRIX_SANITIZE}")
+  set(_hatrix_san_allowed address undefined thread leak)
+  foreach(_san IN LISTS _hatrix_san_list)
+    if(NOT _san IN_LIST _hatrix_san_allowed)
+      message(FATAL_ERROR "HATRIX_SANITIZE: unknown sanitizer '${_san}' "
+                          "(allowed: ${_hatrix_san_allowed})")
+    endif()
+  endforeach()
+
+  # ThreadSanitizer is incompatible with ASan/LSan instrumentation.
+  if("thread" IN_LIST _hatrix_san_list AND
+     ("address" IN_LIST _hatrix_san_list OR "leak" IN_LIST _hatrix_san_list))
+    message(FATAL_ERROR "HATRIX_SANITIZE: 'thread' cannot be combined with "
+                        "'address' or 'leak'")
+  endif()
+
+  list(JOIN _hatrix_san_list "," _hatrix_san_spec)
+  set(_hatrix_san_flags -fsanitize=${_hatrix_san_spec} -fno-omit-frame-pointer)
+  if("undefined" IN_LIST _hatrix_san_list)
+    # Make UBSan findings hard failures instead of log lines.
+    list(APPEND _hatrix_san_flags -fno-sanitize-recover=undefined)
+  endif()
+
+  message(STATUS "hatrix: sanitizers enabled (${_hatrix_san_spec})")
+  add_compile_options(${_hatrix_san_flags})
+  add_link_options(${_hatrix_san_flags})
+endif()

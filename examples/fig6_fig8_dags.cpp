@@ -9,13 +9,18 @@
 // also produce the figures, so the figures are guaranteed to match the
 // implementation.
 //
-//   ./fig6_fig8_dags [--out-dir .]
+//   ./fig6_fig8_dags [--out-dir .] [--verify-dag]
+//
+// --verify-dag runs the static race & ordering verifier
+// (runtime/dag_verify.hpp) on each emitted graph and prints its
+// width/critical-path statistics.
 #include <cstdio>
 #include <fstream>
 
 #include "common/cli.hpp"
 #include "blrchol/blr_cholesky_tasks.hpp"
 #include "format/hss_builder.hpp"
+#include "runtime/dag_verify.hpp"
 #include "runtime/trace.hpp"
 #include "ulv/hss_ulv_tasks.hpp"
 
@@ -24,18 +29,28 @@ using namespace hatrix;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string dir = cli.get_string("out-dir", ".");
+  const bool verify = cli.has("verify-dag");
   cli.reject_unknown();
+
+  auto emit = [&](const char* what, rt::TaskGraph& g, const std::string& path) {
+    std::ofstream(path) << rt::to_dot(g);
+    std::printf("%s DAG: %lld tasks, %lld edges, critical path %lld -> %s\n",
+                what, static_cast<long long>(g.num_tasks()),
+                static_cast<long long>(g.num_edges()),
+                static_cast<long long>(g.critical_path_length()), path.c_str());
+    if (verify) {
+      rt::DagStats s = rt::verify_dag(g);
+      std::printf("  verified: no unordered conflicting accesses; "
+                  "max width %lld, mean parallelism %.2f\n",
+                  static_cast<long long>(s.max_width), s.avg_width);
+    }
+  };
 
   // Fig. 6: dense tile Cholesky on a 3x3 tiling.
   {
     rt::TaskGraph g;
     (void)blrchol::emit_dense_cholesky_dag({}, 3 * 32, 32, g, /*with_work=*/false);
-    const std::string path = dir + "/fig6_tile_cholesky.dot";
-    std::ofstream(path) << rt::to_dot(g);
-    std::printf("Fig. 6 DAG: %lld tasks, %lld edges, critical path %lld -> %s\n",
-                static_cast<long long>(g.num_tasks()),
-                static_cast<long long>(g.num_edges()),
-                static_cast<long long>(g.critical_path_length()), path.c_str());
+    emit("Fig. 6", g, dir + "/fig6_tile_cholesky.dot");
   }
 
   // Fig. 8: HSS-ULV for a 2-level HSS matrix (4 leaves).
@@ -43,12 +58,7 @@ int main(int argc, char** argv) {
     auto skel = fmt::make_hss_skeleton(1024, 256, 64);
     rt::TaskGraph g;
     (void)ulv::emit_hss_ulv_dag(skel, g, /*with_work=*/false);
-    const std::string path = dir + "/fig8_hss_ulv.dot";
-    std::ofstream(path) << rt::to_dot(g);
-    std::printf("Fig. 8 DAG: %lld tasks, %lld edges, critical path %lld -> %s\n",
-                static_cast<long long>(g.num_tasks()),
-                static_cast<long long>(g.num_edges()),
-                static_cast<long long>(g.critical_path_length()), path.c_str());
+    emit("Fig. 8", g, dir + "/fig8_hss_ulv.dot");
   }
 
   std::printf("Render with: dot -Tpng <file>.dot -o <file>.png\n");

@@ -20,16 +20,19 @@ cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 # shellcheck disable=SC2086  # LABEL_ARGS is intentionally word-split
 ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" $LABEL_ARGS
 
-# Full mode: rebuild just the shared-factorization concurrency suite with
-# ThreadSanitizer and run it. The factored-operator immutability contract
-# (docs/ARCHITECTURE.md) is only as good as this check.
+# Full mode: rebuild the concurrency suites with ThreadSanitizer via the
+# HATRIX_SANITIZE option (cmake/Sanitizers.cmake) and run them. Passing
+# -fsanitize=thread through CMAKE_CXX_FLAGS, as this script used to, silently
+# replaced the build type's optimization and debug-info flags; the dedicated
+# option composes with them instead. The factored-operator immutability
+# contract (docs/ARCHITECTURE.md) is only as good as this check.
 if [ "$FULL" = "1" ]; then
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS=-fsanitize=thread \
-    -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread \
+    -DHATRIX_SANITIZE=thread \
     -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_concurrent_solve
-  ./build-tsan/tests/test_concurrent_solve
+    --target test_concurrent_solve test_runtime test_dag_verify
+  ctest --test-dir build-tsan --output-on-failure -L concurrency \
+    -j "$(nproc 2>/dev/null || echo 4)"
 fi

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# clang-tidy over every translation unit in src/, using the .clang-tidy
+# config at the repo root (bugprone-*, concurrency-*, performance-*, ...).
+#
+#   scripts/lint.sh             -> configure a lint build dir, run clang-tidy
+#   CLANG_TIDY=clang-tidy-18 scripts/lint.sh   -> pick a specific binary
+#
+# Exits non-zero if clang-tidy is missing or reports any finding promoted to
+# error by WarningsAsErrors (concurrency-*, use-after-move, ...).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "scripts/lint.sh: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 1
+fi
+
+# A dedicated build dir keeps lint configuration (no tests/benches, just the
+# library TUs) from invalidating the main build cache. compile_commands.json
+# is exported by the top-level CMakeLists unconditionally.
+BUILD_DIR="${LINT_BUILD_DIR:-build-tidy}"
+cmake -B "$BUILD_DIR" -S . \
+  -DHATRIX_BUILD_TESTS=OFF -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF \
+  >/dev/null
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "clang-tidy ($("$TIDY" --version | head -n 1 | sed 's/^ *//')) over src/ with $JOBS jobs"
+# shellcheck disable=SC2046  # file list is intentionally word-split
+find src -name '*.cpp' -print0 |
+  xargs -0 -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet
+echo "clang-tidy: clean"

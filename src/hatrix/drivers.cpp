@@ -118,6 +118,7 @@ ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
 
   ConstructionOutcome out;
   rt::ThreadPoolExecutor ex(cfg.workers);
+  if (cfg.verify_dag) ex.set_verify_dag(true);
 
   WallTimer timer;
   rt::TaskGraph build_graph;

@@ -70,6 +70,7 @@ struct ConstructionExperiment {
   la::index_t max_sample_cols = 0; ///< guard growth cap (0: uncapped)
   int workers = 1;                 ///< construction/factorization workers
   std::uint64_t seed = 42;         ///< sampling seed
+  bool verify_dag = false;         ///< statically verify both DAGs before running
 };
 
 /// Observables of one construction run.

@@ -4,15 +4,18 @@
 #include <chrono>
 #include <map>
 
+#include "runtime/dag_verify.hpp"
 #include "runtime/thread_pool_executor.hpp"
 
 namespace hatrix::rt {
 
-ForkJoinExecutor::ForkJoinExecutor(int num_workers) : num_workers_(num_workers) {
+ForkJoinExecutor::ForkJoinExecutor(int num_workers)
+    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
 ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph) {
+  if (verify_dag_) (void)verify_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;
@@ -58,6 +61,9 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph) {
     }
     const double phase_start = now_seconds();
     ThreadPoolExecutor pool(num_workers_);
+    // The whole graph was already verified above; the per-phase sub-graphs
+    // re-derive their edges from the same access sets.
+    pool.set_verify_dag(false);
     ExecutionStats phase_stats = pool.run(sub);
     // Splice the phase trace back into global task ids / global clock.
     for (std::size_t k = 0; k < ids.size(); ++k) {

@@ -30,8 +30,17 @@ class ForkJoinExecutor {
   /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }
 
+  /// Toggle static DAG verification (dag_verify.hpp) before execution: the
+  /// whole graph is verified once up front (the per-phase sub-graphs are
+  /// re-derived from the same access declarations and are not re-verified).
+  /// Defaults to rt::verify_dag_default().
+  void set_verify_dag(bool enabled) { verify_dag_ = enabled; }
+  /// Whether run() statically verifies the graph before executing it.
+  [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
+
  private:
   int num_workers_;
+  bool verify_dag_;
 };
 
 }  // namespace hatrix::rt

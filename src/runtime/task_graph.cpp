@@ -59,10 +59,30 @@ TaskId TaskGraph::insert_task(Task t) {
   return id;
 }
 
+bool TaskGraph::drop_dependency_for_test(TaskId from, TaskId to) {
+  if (from < 0 || from >= num_tasks()) return false;
+  auto& s = succ_[static_cast<std::size_t>(from)];
+  auto it = std::find(s.begin(), s.end(), to);
+  if (it == s.end()) return false;
+  s.erase(it);
+  if (to >= 0 && to < num_tasks()) --in_degree_[static_cast<std::size_t>(to)];
+  --num_edges_;
+  return true;
+}
+
+void TaskGraph::add_dependency_for_test(TaskId from, TaskId to) {
+  HATRIX_CHECK(from >= 0 && from < num_tasks(), "bad source task id");
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  if (to >= 0 && to < num_tasks()) {
+    ++in_degree_[static_cast<std::size_t>(to)];
+    ++num_edges_;
+  }
+}
+
 TaskId TaskGraph::insert_task(std::string name, std::string kind,
                               std::vector<std::int64_t> dims,
                               std::function<void()> work,
-                              std::vector<std::pair<DataId, Access>> accesses,
+                              std::vector<TaskAccess> accesses,
                               int priority, int phase) {
   Task t;
   t.name = std::move(name);

@@ -28,6 +28,13 @@ enum class Access {
   ReadWrite  ///< the task mutates the block (PaRSEC INOUT)
 };
 
+/// One declared access of a task: an opaque resource id (a registered data
+/// handle — a matrix block, a node's basis slot, …) plus the access mode.
+/// The graph derives its dependency edges from these declarations, and
+/// dag_verify.hpp re-checks the finished DAG against them: every W/W or R/W
+/// pair on the same resource must be ordered by a dependency path.
+using TaskAccess = std::pair<DataId, Access>;
+
 /// A registered piece of data (a matrix block). `bytes` feeds the
 /// communication model; `owner` is the process that holds the block under
 /// the chosen distribution.
@@ -45,7 +52,7 @@ struct Task {
   std::string kind;            ///< cost-model key, e.g. "potrf"
   std::vector<std::int64_t> dims;  ///< cost-model dimensions (block sizes)
   std::function<void()> work;  ///< actual computation; may be empty (DES-only)
-  std::vector<std::pair<DataId, Access>> accesses;  ///< data touched, in declaration order
+  std::vector<TaskAccess> accesses;  ///< data touched, in declaration order
   int priority = 0;  ///< larger runs earlier among ready tasks
   int phase = 0;     ///< fork-join phase (HSS level, tile-Cholesky step)
 };
@@ -68,7 +75,7 @@ class TaskGraph {
   /// Convenience overload.
   TaskId insert_task(std::string name, std::string kind,
                      std::vector<std::int64_t> dims, std::function<void()> work,
-                     std::vector<std::pair<DataId, Access>> accesses,
+                     std::vector<TaskAccess> accesses,
                      int priority = 0, int phase = 0);
 
   /// All tasks in insertion (sequential-submission) order.
@@ -94,6 +101,22 @@ class TaskGraph {
 
   /// Length (in tasks) of the longest chain — the unit-cost critical path.
   [[nodiscard]] std::int64_t critical_path_length() const;
+
+  /// Test-only mutation: remove the dependency edge `from` → `to`, leaving
+  /// the access declarations untouched. Returns false if no such edge
+  /// exists. This simulates an emitter bug (a forgotten dependency) so the
+  /// static verifier's race detection can be exercised against real DAGs;
+  /// never call it outside tests.
+  bool drop_dependency_for_test(TaskId from, TaskId to);
+
+  /// Test-only mutation: splice in a raw dependency edge with NO validation
+  /// — `to` may equal `from` (self-dependency), point backwards (cycle), or
+  /// be an unregistered task id (dangling edge). Exists solely to construct
+  /// the malformed graphs dag_verify must reject; never call it outside
+  /// tests. In-degree/edge counts are only updated when `to` is a valid
+  /// task, so a dangling edge is visible to the verifier as an inconsistent
+  /// successor id.
+  void add_dependency_for_test(TaskId from, TaskId to);
 
  private:
   void add_edge(TaskId from, TaskId to);

@@ -8,6 +8,8 @@
 #include <queue>
 #include <thread>
 
+#include "runtime/dag_verify.hpp"
+
 namespace hatrix::rt {
 
 namespace {
@@ -28,12 +30,15 @@ struct ReadyOrder {
 }  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(int num_workers)
-    : num_workers_(num_workers) {
+    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
 ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
                                        std::exception_ptr* error_out) {
+  // A malformed or racy graph is a programming error, not a task failure:
+  // it throws before any work runs and never lands in `error_out`.
+  if (verify_dag_) (void)verify_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;

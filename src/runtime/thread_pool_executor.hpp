@@ -34,8 +34,18 @@ class ThreadPoolExecutor {
   /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }
 
+  /// Toggle static DAG verification (dag_verify.hpp) before execution. When
+  /// enabled, run() throws DagStructureError / DagRaceError — directly, never
+  /// through `error_out` — before any task body executes. Defaults to
+  /// rt::verify_dag_default(): on in debug builds, off in release, always
+  /// overridable via the HATRIX_VERIFY_DAG environment variable.
+  void set_verify_dag(bool enabled) { verify_dag_ = enabled; }
+  /// Whether run() statically verifies the graph before executing it.
+  [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
+
  private:
   int num_workers_;
+  bool verify_dag_;
 };
 
 }  // namespace hatrix::rt

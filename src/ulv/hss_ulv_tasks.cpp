@@ -146,8 +146,11 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
             rot.rotated = Matrix();  // release working memory
           })
                     : std::function<void()>(),
+          // `rotated` is declared ReadWrite, not Read: the task moves the
+          // Q factor out of the slot and releases the rotated buffer, so
+          // any later reader of this handle would race with it.
           {{dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-            rt::Access::Read},
+            rt::Access::ReadWrite},
            {dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::ReadWrite}},
           priority, phase);
