@@ -27,12 +27,21 @@ ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" $
 # option composes with them instead. The factored-operator immutability
 # contract (docs/ARCHITECTURE.md) is only as good as this check.
 if [ "$FULL" = "1" ]; then
+  # Quick executor sweep: run the real ULV DAG through fork-join, FIFO and
+  # priority (Ablation D of bench_ablation_runtime) with the DAG verifier on,
+  # so a scheduling regression that slips past the unit suites still fails
+  # the check line.
+  HATRIX_VERIFY_DAG=1 ./build/bench/bench_ablation_runtime --skip-sim \
+    --measured-n 1024 --workers 2 --reps 1 \
+    --json /tmp/hatrix_check_bench_runtime.json
+
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHATRIX_SANITIZE=thread \
     -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_concurrent_solve test_runtime test_dag_verify
+    --target test_concurrent_solve test_runtime test_dag_verify \
+    test_executor_conformance test_scheduler_stress
   ctest --test-dir build-tsan --output-on-failure -L concurrency \
     -j "$(nproc 2>/dev/null || echo 4)"
 fi

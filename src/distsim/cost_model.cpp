@@ -71,6 +71,19 @@ double CostModel::task_flops(const rt::Task& t) {
   if (k == "fwd_solve" || k == "bwd_solve") return 2.0 * d0 * d0;  // gemv-bound
   if (k == "potrs") return 2.0 * d0 * d0;
   if (k == "gather" || k == "scatter") return d0 + d1;  // memory copy
+  // HSS construction kinds (format/hss_builder_tasks): dims are
+  // {rows, rank, sampled far-field cols}. The row-ID over the b x s sample
+  // dominates (pivoted QR of the transposed sample, ~2 b s k), plus the
+  // final QR of the b x k interpolation factor.
+  if (k == "compress" || k == "transfer") {
+    const double s = d2 > 0.0 ? d2 : 2.0 * d1;
+    return 2.0 * d0 * s * d1 + 2.0 * d0 * d1 * d1;
+  }
+  if (k == "merge_sample") {
+    // Leaf couplings ({b, k, k}) are two dense products through the b x b
+    // block; upper couplings ({k, k}) only touch k x k skeleton gathers.
+    return 2.0 * d0 * d0 * d1 + 2.0 * d0 * d1 * d2;
+  }
   return 1e3;  // unknown task kinds: negligible fixed cost
 }
 

@@ -328,13 +328,23 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
     return dag;
   }
 
+  // Cost-model annotation shared by the compress/transfer kinds: the
+  // far-field columns a node initially samples (the guard may grow it, but
+  // the initial sample prices the common case; 0 sample_cols means exact
+  // construction against the full complement).
+  auto sample_dim = [&](index_t rows) {
+    return opts.sample_cols > 0 ? opts.sample_cols
+                                : std::max<index_t>(n - rows, index_t{0});
+  };
+
   // Leaf level: diagonal blocks + guarded shared row bases (Eq. 2).
   for (index_t i = 0; i < st.h.num_nodes(L); ++i) {
     const auto& nd = st.h.node(L, i);
     const std::string tag = "(" + std::to_string(L) + "," + std::to_string(i) + ")";
     const index_t ii = i;
     graph.insert_task(
-        "COMPRESS" + tag, "compress", {nd.block_size(), opts.max_rank},
+        "COMPRESS" + tag, "compress",
+        {nd.block_size(), opts.max_rank, sample_dim(nd.block_size())},
         [stp, ii] {
           const int lev = stp->h.max_level();
           auto& nd2 = stp->h.node(lev, ii);
@@ -372,7 +382,9 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
       const int li = l;
       const index_t pi = p;
       graph.insert_task(
-          "TRANSFER" + tag, "transfer", {opts.max_rank, opts.max_rank},
+          "TRANSFER" + tag, "transfer",
+          // Rows: the children's stacked skeletons (<= 2 max_rank).
+          {2 * opts.max_rank, opts.max_rank, sample_dim(2 * opts.max_rank)},
           [stp, li, pi] {
             auto& nd2 = stp->h.node(li, pi);
             const auto& si =
@@ -435,8 +447,16 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
       const int li = l;
       const index_t tt = t;
       const bool leaf = l == L;
+      // Leaf couplings are exact U_j^T A U_i products over the dense leaf
+      // blocks; upper couplings only touch k x k skeleton gathers — the
+      // third dim records the dense block extent so the cost model can tell
+      // them apart.
+      const std::vector<std::int64_t> ms_dims =
+          leaf ? std::vector<std::int64_t>{st.h.node(l, 2 * t).block_size(),
+                                           opts.max_rank, opts.max_rank}
+               : std::vector<std::int64_t>{opts.max_rank, opts.max_rank};
       graph.insert_task(
-          "MERGE_SAMPLE" + tag, "merge_sample", {opts.max_rank, opts.max_rank},
+          "MERGE_SAMPLE" + tag, "merge_sample", ms_dims,
           leaf ? std::function<void()>([stp, li, tt] {
             const auto& n0 = stp->h.node(li, 2 * tt);
             const auto& n1 = stp->h.node(li, 2 * tt + 1);

@@ -164,6 +164,28 @@ DagStats verify_dag(const TaskGraph& graph) {
   return stats;
 }
 
+std::vector<double> bottom_levels(const TaskGraph& graph, const TaskCostFn& cost) {
+  HATRIX_CHECK(static_cast<bool>(cost), "bottom_levels needs a cost callback");
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  std::vector<double> bl(n, 0.0);
+  // Insertion order is topological, so a single reverse sweep resolves every
+  // successor before its predecessors. Non-forward edges (test-only splices)
+  // are skipped, matching critical_path_length().
+  for (std::size_t t = n; t-- > 0;) {
+    double down = 0.0;
+    for (TaskId s : graph.successors()[t])
+      if (s > static_cast<TaskId>(t) && s < graph.num_tasks())
+        down = std::max(down, bl[static_cast<std::size_t>(s)]);
+    bl[t] = std::max(0.0, cost(graph.tasks()[t])) + down;
+  }
+  return bl;
+}
+
+double weighted_critical_path(const TaskGraph& graph, const TaskCostFn& cost) {
+  const auto bl = bottom_levels(graph, cost);
+  return bl.empty() ? 0.0 : *std::max_element(bl.begin(), bl.end());
+}
+
 bool verify_dag_default() {
   if (const char* env = std::getenv("HATRIX_VERIFY_DAG")) {
     const std::string v(env);

@@ -24,12 +24,21 @@
 /// examples expose it behind `--verify-dag`.
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace hatrix::rt {
+
+/// Per-task cost callback for weighted critical-path statistics and
+/// priority derivation. Returns the (relative) cost of one task — flops,
+/// seconds, any consistent unit. The runtime layer deliberately has no
+/// opinion on the unit; distsim::CostModel::task_flops is the flop-true
+/// implementation the benches plug in.
+using TaskCostFn = std::function<double(const Task&)>;
 
 /// Structural statistics of a verified DAG (verify_dag's by-product).
 struct DagStats {
@@ -72,6 +81,22 @@ class DagRaceError : public Error {
 /// structural pass plus O(E·V/64) bit-parallel reachability for the race
 /// check — a few milliseconds for the multi-thousand-task production DAGs.
 DagStats verify_dag(const TaskGraph& graph);
+
+/// Cost-weighted bottom level of every task: bl[t] = cost(t) plus the most
+/// expensive downstream dependency chain. The bottom level is the classical
+/// critical-path priority — a task whose subtree carries more remaining work
+/// gets a larger value, so a scheduler draining highest-bottom-level-first
+/// follows the cost-weighted critical path (top-of-tree ULV tasks win over
+/// wide cheap leaves). Assumes insertion order is topological, which
+/// TaskGraph::insert_task guarantees; edges spliced backwards by the
+/// test-only mutators are ignored.
+std::vector<double> bottom_levels(const TaskGraph& graph, const TaskCostFn& cost);
+
+/// Cost-weighted critical path: the largest bottom level, i.e. the cost of
+/// the most expensive dependency chain. Generalizes
+/// TaskGraph::critical_path_length() (the cost==1 special case) through the
+/// same per-task cost hook the priority scheduler uses.
+double weighted_critical_path(const TaskGraph& graph, const TaskCostFn& cost);
 
 /// Default verify-before-run policy for executors: the HATRIX_VERIFY_DAG
 /// environment variable forces it on ("1"/"true"/"on") or off ("0" etc.);

@@ -14,12 +14,14 @@ ForkJoinExecutor::ForkJoinExecutor(int num_workers)
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
-ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph) {
+ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph,
+                                     std::exception_ptr* error_out) {
   if (verify_dag_) (void)verify_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;
   stats.traces.resize(n);
+  stats.worker_discovery.assign(static_cast<std::size_t>(num_workers_), 0.0);
   if (n == 0) return stats;
 
   // Check the fork-join invariant: edges never point to an earlier phase.
@@ -42,7 +44,13 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph) {
 
   // Execute each phase as its own sub-graph through the asynchronous
   // executor, with a barrier (the join) between phases.
+  std::exception_ptr first_error;
   for (const auto& [phase, ids] : phases) {
+    // The per-phase sub-graph re-derivation IS this executor's task
+    // discovery: like a DTD process re-discovering the graph, the
+    // coordinating thread replays every insertion (and its dependency
+    // inference) once per phase. Charge it to worker 0.
+    const double t_discover = now_seconds();
     TaskGraph sub;
     // Recreate accesses so intra-phase dependencies survive; data ids are
     // shared with the parent graph (same registration order).
@@ -59,26 +67,49 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph) {
       copy.phase = t.phase;
       sub.insert_task(std::move(copy));
     }
+    stats.worker_discovery[0] += now_seconds() - t_discover;
     const double phase_start = now_seconds();
     ThreadPoolExecutor pool(num_workers_);
     // The whole graph was already verified above; the per-phase sub-graphs
     // re-derive their edges from the same access sets.
     pool.set_verify_dag(false);
-    ExecutionStats phase_stats = pool.run(sub);
+    std::exception_ptr phase_error;
+    ExecutionStats phase_stats = pool.run(sub, &phase_error);
     // Splice the phase trace back into global task ids / global clock.
+    // Tasks the inner executor never ran (possible when a phase fails) keep
+    // their default unstamped trace.
     for (std::size_t k = 0; k < ids.size(); ++k) {
       const auto& tr = phase_stats.traces[k];
+      if (tr.task < 0) continue;
       auto& out = stats.traces[static_cast<std::size_t>(ids[k])];
       out.task = ids[k];
       out.worker = tr.worker;
       out.start = phase_start + tr.start;
       out.end = phase_start + tr.end;
     }
+    for (std::size_t w = 0; w < phase_stats.worker_discovery.size(); ++w)
+      stats.worker_discovery[w] += phase_stats.worker_discovery[w];
+    if (phase_error) {
+      // The barrier model makes error handling simple: the failing phase
+      // has drained (its traces are spliced, the failing task is
+      // end-stamped by the inner executor) and no later phase starts.
+      first_error = phase_error;
+      break;
+    }
   }
 
   stats.wall_time = now_seconds();
   for (const auto& tr : stats.traces) stats.compute_total += tr.duration();
   stats.overhead_total = stats.wall_time * num_workers_ - stats.compute_total;
+  for (double d : stats.worker_discovery) stats.discovery_total += d;
+
+  if (first_error) {
+    if (error_out != nullptr) {
+      *error_out = first_error;
+      return stats;
+    }
+    std::rethrow_exception(first_error);
+  }
   return stats;
 }
 

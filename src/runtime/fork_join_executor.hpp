@@ -9,6 +9,8 @@
 /// asynchronous runtime (Sec. 4.2, Sec. 5.2) — the merge step stalls on the
 /// barrier instead of firing as soon as its two children are done.
 
+#include <exception>
+
 #include "runtime/task_graph.hpp"
 #include "runtime/trace.hpp"
 
@@ -25,7 +27,11 @@ class ForkJoinExecutor {
   /// inside a phase are respected; dependencies that point to a *later*
   /// phase are satisfied by the barrier construction. Throws if the graph
   /// has a dependency from a later phase back into an earlier one.
-  ExecutionStats run(const TaskGraph& graph);
+  /// Exceptions thrown by task bodies are rethrown after the failing phase
+  /// drains, with the failing task's trace end-stamped; later phases never
+  /// start. When `error_out` is non-null the exception is stored there
+  /// instead of rethrown and the partial statistics are returned.
+  ExecutionStats run(const TaskGraph& graph, std::exception_ptr* error_out = nullptr);
 
   /// Worker thread count this executor was built with.
   [[nodiscard]] int num_workers() const { return num_workers_; }

@@ -1,0 +1,215 @@
+#include "runtime/priority_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hatrix::rt {
+
+namespace {
+
+/// One entry of a worker's ready deque: the task plus its precomputed
+/// bottom-level priority (stored to avoid re-indexing under the deque lock).
+struct ReadyEntry {
+  double prio = 0.0;
+  TaskId id = -1;
+};
+
+/// Heap order: larger bottom level first; earlier insertion breaks ties so
+/// single-worker execution is deterministic and stays close to the DTD
+/// submission order.
+struct EntryLess {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (a.prio != b.prio) return a.prio < b.prio;
+    return a.id > b.id;
+  }
+};
+
+/// A worker's ready set: a mutex-guarded binary max-heap. The owner and
+/// thieves both pop the highest-priority entry — stealing the *best* task of
+/// the victim (not the worst, as classic bottom-stealing would) is what
+/// keeps the critical path moving when the owner is stuck inside a long
+/// task body.
+struct WorkerDeque {
+  std::mutex mu;
+  std::vector<ReadyEntry> heap;
+
+  void push(ReadyEntry e) {
+    std::lock_guard<std::mutex> lock(mu);
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), EntryLess{});
+  }
+
+  bool pop(ReadyEntry& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (heap.empty()) return false;
+    std::pop_heap(heap.begin(), heap.end(), EntryLess{});
+    out = heap.back();
+    heap.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+double default_task_cost(const Task& t) {
+  double c = 1.0;
+  for (std::int64_t d : t.dims) c *= std::max(1.0, static_cast<double>(d));
+  return c;
+}
+
+PriorityExecutor::PriorityExecutor(int num_workers)
+    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
+  HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
+}
+
+ExecutionStats PriorityExecutor::run(const TaskGraph& graph,
+                                     std::exception_ptr* error_out) {
+  // A malformed or racy graph is a programming error, not a task failure:
+  // it throws before any priority is computed and never lands in error_out.
+  if (verify_dag_) (void)verify_dag(graph);
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  const auto nw = static_cast<std::size_t>(num_workers_);
+  ExecutionStats stats;
+  stats.workers = num_workers_;
+  stats.traces.resize(n);
+  stats.worker_discovery.assign(nw, 0.0);
+  if (n == 0) return stats;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto now_seconds = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Priority derivation is scheduler work, charged to the discovery timer
+  // (worker 0, which performs it on the calling thread).
+  const TaskCostFn& cost = cost_ ? cost_ : TaskCostFn(&default_task_cost);
+  const std::vector<double> prio = bottom_levels(graph, cost);
+  std::vector<std::atomic<int>> remaining(n);
+  for (std::size_t t = 0; t < n; ++t)
+    remaining[t].store(graph.in_degree()[t], std::memory_order_relaxed);
+  std::vector<WorkerDeque> deques(nw);
+  std::atomic<std::int64_t> ready_count{0};
+  {
+    // Seed sources round-robin so every worker starts with local work.
+    std::size_t next = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (graph.in_degree()[t] != 0) continue;
+      deques[next % nw].heap.push_back({prio[t], static_cast<TaskId>(t)});
+      ++next;
+    }
+    for (auto& d : deques)
+      std::make_heap(d.heap.begin(), d.heap.end(), EntryLess{});
+    ready_count.store(static_cast<std::int64_t>(next), std::memory_order_relaxed);
+  }
+  stats.worker_discovery[0] += now_seconds();
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // Idle coordination: workers sleep here when every deque looks empty. The
+  // empty lock/unlock before notify_all closes the classic check-then-sleep
+  // window against the atomic predicate reads.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  auto wake_all = [&] {
+    { std::lock_guard<std::mutex> lock(idle_mu); }
+    idle_cv.notify_all();
+  };
+
+  auto worker_fn = [&](int worker_id) {
+    const auto w = static_cast<std::size_t>(worker_id);
+    double my_discovery = 0.0;
+    for (;;) {
+      if (stop.load(std::memory_order_acquire)) break;
+      if (completed.load(std::memory_order_acquire) == n) break;
+
+      // Pop locally, else steal the victim's highest-priority task.
+      const double t_pop = now_seconds();
+      ReadyEntry entry;
+      bool got = deques[w].pop(entry);
+      for (std::size_t i = 1; !got && i < nw; ++i)
+        got = deques[(w + i) % nw].pop(entry);
+      if (got) ready_count.fetch_sub(1, std::memory_order_acq_rel);
+      my_discovery += now_seconds() - t_pop;
+
+      if (!got) {
+        std::unique_lock<std::mutex> lock(idle_mu);
+        idle_cv.wait(lock, [&] {
+          return stop.load(std::memory_order_acquire) ||
+                 completed.load(std::memory_order_acquire) == n ||
+                 ready_count.load(std::memory_order_acquire) > 0;
+        });
+        continue;
+      }
+
+      const auto ti = static_cast<std::size_t>(entry.id);
+      const Task& task = graph.tasks()[ti];
+      auto& trace = stats.traces[ti];
+      trace.task = entry.id;
+      trace.worker = worker_id;
+      trace.start = now_seconds();
+      if (task.work) {
+        try {
+          task.work();
+        } catch (...) {
+          // End-stamp before recording the error so the failing task's
+          // trace never reports a negative duration.
+          trace.end = now_seconds();
+          {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          stop.store(true, std::memory_order_release);
+          wake_all();
+          break;
+        }
+      }
+      trace.end = now_seconds();
+
+      // Release dependents into the local deque (locality: the successor's
+      // inputs were just produced here) and publish completion.
+      const double t_rel = now_seconds();
+      std::int64_t pushed = 0;
+      for (TaskId s : graph.successors()[ti]) {
+        if (remaining[static_cast<std::size_t>(s)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          deques[w].push({prio[static_cast<std::size_t>(s)], s});
+          ++pushed;
+        }
+      }
+      if (pushed > 0) ready_count.fetch_add(pushed, std::memory_order_acq_rel);
+      const std::size_t done = completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (pushed > 0 || done == n) wake_all();
+      my_discovery += now_seconds() - t_rel;
+    }
+    stats.worker_discovery[w] += my_discovery;
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(nw);
+  for (int w = 0; w < num_workers_; ++w) workers.emplace_back(worker_fn, w);
+  for (auto& t : workers) t.join();
+
+  stats.wall_time = now_seconds();
+  for (const auto& tr : stats.traces) stats.compute_total += tr.duration();
+  stats.overhead_total = stats.wall_time * num_workers_ - stats.compute_total;
+  for (double d : stats.worker_discovery) stats.discovery_total += d;
+
+  if (first_error) {
+    if (error_out != nullptr) {
+      *error_out = first_error;
+      return stats;
+    }
+    std::rethrow_exception(first_error);
+  }
+  return stats;
+}
+
+}  // namespace hatrix::rt

@@ -1,0 +1,73 @@
+#pragma once
+/// \file priority_executor.hpp
+/// \brief Critical-path-aware work-stealing executor.
+///
+/// The third point on the paper's runtime axis, between the FIFO thread pool
+/// (PaRSEC-DTD's default scheduler) and the fork-join barrier model: every
+/// task is prioritized by its cost-weighted *bottom level* — the cost of the
+/// most expensive dependency chain from the task to a sink, computed once up
+/// front via rt::bottom_levels with a pluggable per-task cost hook. Workers
+/// drain per-worker deques highest-priority-first and steal from a victim's
+/// deque when their own runs dry, so the scheduler keeps the critical path
+/// (in HSS-ULV: the top-of-tree merge/factor chain) moving while leaf-level
+/// parallelism fills the remaining worker slots. Li & Liu (PAPERS.md) call
+/// the serialized top-of-tree exactly the bottleneck this ordering attacks;
+/// Hatrix's `factorize_noparsec` drives the same ULV DAG with the same idea.
+///
+/// Drop-in compatible with the other two executors: the same
+/// `run(graph, error_out)` interface, the same set_verify_dag() gate (the
+/// static DAG verifier runs before any priority is computed), the same
+/// ExecutionStats — including the discovery/ready-queue timer, which here
+/// additionally charges the up-front bottom-level computation.
+
+#include <exception>
+
+#include "runtime/dag_verify.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace hatrix::rt {
+
+/// Default per-task cost when no cost hook is set: the product of the
+/// task's cost-model dims (minimum 1.0) — a crude flop proxy that already
+/// separates an O(m^3) PARTIAL_FACTOR from an O(k^2) MERGE. Plug in
+/// distsim::CostModel::task_flops (via PriorityExecutor::set_cost) for
+/// flop-true weighting.
+double default_task_cost(const Task& t);
+
+/// Critical-path-aware executor: per-worker work-stealing deques popped
+/// highest-bottom-level-first.
+class PriorityExecutor {
+ public:
+  /// `num_workers` worker threads (>= 1). The calling thread coordinates.
+  explicit PriorityExecutor(int num_workers = 1);
+
+  /// Run every task in the graph respecting dependencies; returns the
+  /// execution statistics. Same contract as ThreadPoolExecutor::run —
+  /// task-body exceptions are captured, the failing task's trace is
+  /// end-stamped, and the error is rethrown after draining (or stored in
+  /// `error_out` when non-null).
+  ExecutionStats run(const TaskGraph& graph, std::exception_ptr* error_out = nullptr);
+
+  /// Worker thread count this executor was built with.
+  [[nodiscard]] int num_workers() const { return num_workers_; }
+
+  /// Override the per-task cost used to weight the critical path; pass an
+  /// empty function to restore default_task_cost.
+  void set_cost(TaskCostFn cost) { cost_ = std::move(cost); }
+
+  /// Toggle static DAG verification (dag_verify.hpp) before execution.
+  /// Identical semantics to the other executors: throws DagStructureError /
+  /// DagRaceError directly, never through `error_out`, before any priority
+  /// is computed or task body runs. Defaults to rt::verify_dag_default().
+  void set_verify_dag(bool enabled) { verify_dag_ = enabled; }
+  /// Whether run() statically verifies the graph before executing it.
+  [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
+
+ private:
+  int num_workers_;
+  bool verify_dag_;
+  TaskCostFn cost_;
+};
+
+}  // namespace hatrix::rt

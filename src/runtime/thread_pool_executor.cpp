@@ -43,6 +43,7 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
   ExecutionStats stats;
   stats.workers = num_workers_;
   stats.traces.resize(n);
+  stats.worker_discovery.assign(static_cast<std::size_t>(num_workers_), 0.0);
   if (n == 0) return stats;
 
   std::vector<std::atomic<int>> remaining(n);
@@ -66,15 +67,27 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
   };
 
   auto worker_fn = [&](int worker_id) {
+    // Ready-queue / dependency-management time this worker accumulates — the
+    // measured DTD discovery overhead. Idle waiting inside cv.wait is
+    // deliberately excluded; overhead_total already covers it.
+    double my_discovery = 0.0;
+    auto publish_discovery = [&] {
+      stats.worker_discovery[static_cast<std::size_t>(worker_id)] = my_discovery;
+    };
     for (;;) {
       TaskId id;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return !ready.empty() || completed == n || first_error; });
-        if ((completed == n && ready.empty()) || first_error) return;
+        const double t_pop = now_seconds();
+        if ((completed == n && ready.empty()) || first_error) {
+          publish_discovery();
+          return;
+        }
         if (ready.empty()) continue;
         id = ready.top();
         ready.pop();
+        my_discovery += now_seconds() - t_pop;
       }
 
       const Task& task = graph.tasks()[static_cast<std::size_t>(id)];
@@ -93,12 +106,14 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
           std::lock_guard<std::mutex> lock(mu);
           if (!first_error) first_error = std::current_exception();
           cv.notify_all();
+          publish_discovery();
           return;
         }
       }
       trace.end = now_seconds();
 
       {
+        const double t_rel = now_seconds();
         std::lock_guard<std::mutex> lock(mu);
         ++completed;
         for (TaskId s : graph.successors()[static_cast<std::size_t>(id)]) {
@@ -107,6 +122,7 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
             ready.push(s);
         }
         cv.notify_all();
+        my_discovery += now_seconds() - t_rel;
       }
     }
   };
@@ -119,6 +135,7 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
   stats.wall_time = now_seconds();
   for (const auto& tr : stats.traces) stats.compute_total += tr.duration();
   stats.overhead_total = stats.wall_time * num_workers_ - stats.compute_total;
+  for (double d : stats.worker_discovery) stats.discovery_total += d;
 
   if (first_error) {
     if (error_out != nullptr) {

@@ -1,6 +1,7 @@
 #include "runtime/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -33,7 +34,64 @@ std::string validate_trace(const TaskGraph& graph, const ExecutionStats& stats) 
                std::to_string(t) + " finished";
     }
   }
+
+  // Per-worker trace streams must be disjoint: one thread cannot run two
+  // task bodies at once, so overlapping intervals on the same worker id mean
+  // a worker attribution or stamping bug.
+  std::map<int, std::vector<const TaskTrace*>> by_worker;
+  for (const auto& tr : stats.traces) by_worker[tr.worker].push_back(&tr);
+  for (auto& [worker, trs] : by_worker) {
+    std::sort(trs.begin(), trs.end(), [](const TaskTrace* a, const TaskTrace* b) {
+      return a->start < b->start;
+    });
+    for (std::size_t i = 1; i < trs.size(); ++i) {
+      if (trs[i]->start + 1e-9 < trs[i - 1]->end)
+        return "tasks " + std::to_string(trs[i - 1]->task) + " and " +
+               std::to_string(trs[i]->task) + " overlap on worker " +
+               std::to_string(worker);
+    }
+  }
+
+  // The discovery timers only ever accumulate time the workers actually
+  // spent, so the total is bounded by the workers' wall-clock budget.
+  if (stats.discovery_total < 0.0)
+    return "negative discovery time " + std::to_string(stats.discovery_total);
+  if (stats.discovery_total >
+      stats.wall_time * static_cast<double>(stats.workers) + 1e-6)
+    return "discovery time " + std::to_string(stats.discovery_total) +
+           " exceeds the worker wall-clock budget " +
+           std::to_string(stats.wall_time * stats.workers);
+  double worker_sum = 0.0;
+  for (double d : stats.worker_discovery) {
+    if (d < 0.0) return "negative per-worker discovery time";
+    worker_sum += d;
+  }
+  if (!stats.worker_discovery.empty() &&
+      std::abs(worker_sum - stats.discovery_total) > 1e-6)
+    return "per-worker discovery times do not sum to discovery_total";
   return "";
+}
+
+double critical_path_time(const TaskGraph& graph, const ExecutionStats& stats) {
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  if (n == 0) return 0.0;
+  std::vector<double> dur(n, 0.0);
+  for (const auto& tr : stats.traces)
+    if (tr.task >= 0 && static_cast<std::size_t>(tr.task) < n)
+      dur[static_cast<std::size_t>(tr.task)] = std::max(0.0, tr.duration());
+  // comp[t] = dur[t] + max over predecessors comp[p]; insertion order is
+  // topological so one forward sweep over the successor lists suffices.
+  std::vector<double> comp = dur;
+  double best = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    best = std::max(best, comp[t]);
+    for (TaskId s : graph.successors()[t]) {
+      if (s <= static_cast<TaskId>(t) || s >= graph.num_tasks()) continue;
+      auto& c = comp[static_cast<std::size_t>(s)];
+      c = std::max(c, comp[t] + dur[static_cast<std::size_t>(s)]);
+    }
+  }
+  return best;
 }
 
 std::string to_chrome_trace(const TaskGraph& graph, const ExecutionStats& stats) {

@@ -35,6 +35,19 @@ struct ExecutionStats {
   double overhead_total = 0.0;       ///< workers*wall - compute
   std::vector<TaskTrace> traces;     ///< one record per executed task
 
+  /// Time all workers spent on task discovery and ready-queue management:
+  /// popping/stealing ready tasks, releasing dependents when a task
+  /// finishes, (fork-join) re-deriving the per-phase sub-graphs, and
+  /// (priority) computing the cost-weighted bottom levels. This is the
+  /// measured shared-memory analogue of the paper's DTD discovery overhead
+  /// (Sec. 5.3.3); it deliberately excludes idle waiting, which
+  /// overhead_total already accounts for.
+  double discovery_total = 0.0;
+  /// Per-worker slice of discovery_total (size == workers). The fork-join
+  /// executor charges its per-phase sub-graph re-derivation to worker 0,
+  /// the coordinating thread that performs it.
+  std::vector<double> worker_discovery;
+
   /// Average per-worker compute time (the paper's "COMPUTE TASK TIME").
   [[nodiscard]] double compute_per_worker() const {
     return workers > 0 ? compute_total / workers : 0.0;
@@ -43,12 +56,32 @@ struct ExecutionStats {
   [[nodiscard]] double overhead_per_worker() const {
     return workers > 0 ? overhead_total / workers : 0.0;
   }
+  /// Average per-worker discovery / ready-queue time.
+  [[nodiscard]] double discovery_per_worker() const {
+    return workers > 0 ? discovery_total / workers : 0.0;
+  }
+  /// Fraction of total worker-seconds spent on discovery — the ablation's
+  /// "DTD overhead share" once the DAG emission time is added by the caller.
+  [[nodiscard]] double discovery_share() const {
+    const double denom = wall_time * workers;
+    return denom > 0.0 ? discovery_total / denom : 0.0;
+  }
 };
 
-/// Validate a trace against the graph: every task ran exactly once and no
-/// task started before all of its predecessors ended. Returns an empty
-/// string when consistent, else a description of the first violation.
+/// Validate a trace against the graph: every task ran exactly once, no task
+/// started before all of its predecessors ended, no two tasks overlap on the
+/// same worker (per-worker trace streams are disjoint), and the discovery
+/// timer totals stay within the wall-clock bounds
+/// (0 <= discovery_total <= workers * wall_time). Returns an empty string
+/// when consistent, else a description of the first violation.
 std::string validate_trace(const TaskGraph& graph, const ExecutionStats& stats);
+
+/// Duration-weighted critical path of an executed graph: the cost of the
+/// most expensive dependency chain with every task weighted by its measured
+/// duration. critical_path_time / wall_time is the critical-path
+/// utilization — 1.0 means the executor ran the critical path back-to-back
+/// with zero stall, lower means scheduling stalls stretched it.
+double critical_path_time(const TaskGraph& graph, const ExecutionStats& stats);
 
 /// Export a trace as Chrome/Perfetto trace-event JSON (open in
 /// chrome://tracing or ui.perfetto.dev): one row per worker, one slice per

@@ -1,5 +1,5 @@
-// Tests for the DTD task graph (dependency inference), the asynchronous and
-// fork-join executors, and trace validation.
+// Tests for the DTD task graph (dependency inference), the asynchronous,
+// fork-join and priority executors, and trace validation.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,7 +7,9 @@
 #include <set>
 #include <thread>
 
+#include "runtime/dag_verify.hpp"
 #include "runtime/fork_join_executor.hpp"
+#include "runtime/priority_executor.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool_executor.hpp"
 #include "runtime/trace.hpp"
@@ -270,6 +272,203 @@ TEST(ForkJoinExecutor, RejectsBackwardPhaseEdges) {
   g.insert_task(std::move(t2));
   ForkJoinExecutor ex(1);
   EXPECT_THROW((void)ex.run(g), Error);
+}
+
+TEST(TaskGraph, CriticalPathMemoizationSurvivesMutation) {
+  // critical_path_length() is cached; every edge-set mutation — another
+  // insert_task or the test-only edge surgery — must invalidate the cache so
+  // a later query never returns a stale length.
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  TaskId w1 = g.insert_task("w1", "k", {}, {}, {{d, Access::ReadWrite}});
+  TaskId w2 = g.insert_task("w2", "k", {}, {}, {{d, Access::ReadWrite}});
+  EXPECT_EQ(g.critical_path_length(), 2);
+  EXPECT_EQ(g.critical_path_length(), 2);  // cached query
+
+  g.insert_task("w3", "k", {}, {}, {{d, Access::ReadWrite}});
+  EXPECT_EQ(g.critical_path_length(), 3);  // insert invalidated the cache
+
+  ASSERT_TRUE(g.drop_dependency_for_test(w1, w2));
+  EXPECT_EQ(g.critical_path_length(), 2);  // w2 -> w3 is now the longest chain
+
+  g.add_dependency_for_test(w1, w2);
+  EXPECT_EQ(g.critical_path_length(), 3);  // spliced edge restores the chain
+
+  // A failed drop must not invalidate incorrectly either (no edge removed).
+  EXPECT_FALSE(g.drop_dependency_for_test(w2, w1));
+  EXPECT_EQ(g.critical_path_length(), 3);
+}
+
+TEST(DagCosts, BottomLevelsWeightChains) {
+  // d-chain: a(5) -> b(1) -> c(2); solo task on e with cost 100.
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  DataId e = g.register_data("y");
+  g.insert_task("a", "k", {5}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("b", "k", {1}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("c", "k", {2}, {}, {{d, Access::ReadWrite}});
+  g.insert_task("solo", "k", {100}, {}, {{e, Access::ReadWrite}});
+  auto cost = [](const Task& t) { return static_cast<double>(t.dims[0]); };
+  auto bl = bottom_levels(g, cost);
+  ASSERT_EQ(bl.size(), 4u);
+  EXPECT_DOUBLE_EQ(bl[0], 8.0);  // 5 + 1 + 2
+  EXPECT_DOUBLE_EQ(bl[1], 3.0);
+  EXPECT_DOUBLE_EQ(bl[2], 2.0);
+  EXPECT_DOUBLE_EQ(bl[3], 100.0);
+  // The weighted critical path is the heaviest chain, not the longest one.
+  EXPECT_DOUBLE_EQ(weighted_critical_path(g, cost), 100.0);
+  EXPECT_EQ(g.critical_path_length(), 3);  // unit-cost view still the d-chain
+}
+
+TEST(PriorityExecutor, RunsOrderSensitiveChain) {
+  TaskGraph g;
+  DataId d = g.register_data("acc");
+  auto value = std::make_shared<std::atomic<long>>(0);
+  for (int i = 1; i <= 20; ++i)
+    g.insert_task("mul_add" + std::to_string(i), "k", {},
+                  [value, i] { value->store(value->load() * 2 + i); },
+                  {{d, Access::ReadWrite}});
+  PriorityExecutor ex(4);
+  auto stats = ex.run(g);
+  long ref = 0;
+  for (int i = 1; i <= 20; ++i) ref = ref * 2 + i;
+  EXPECT_EQ(value->load(), ref);
+  EXPECT_EQ(validate_trace(g, stats), "");
+  EXPECT_EQ(stats.workers, 4);
+}
+
+TEST(PriorityExecutor, SingleWorkerDrainsByBottomLevel) {
+  // Two independent chains; the heavy chain's head has the larger bottom
+  // level, so a single worker must run the whole heavy chain first.
+  TaskGraph g;
+  DataId heavy = g.register_data("heavy");
+  DataId light = g.register_data("light");
+  std::vector<int> order;
+  auto log = [&order](int id) { order.push_back(id); };
+  g.insert_task("light0", "k", {2}, [&, log] { log(10); },
+                {{light, Access::ReadWrite}});
+  g.insert_task("heavy0", "k", {50}, [&, log] { log(0); },
+                {{heavy, Access::ReadWrite}});
+  g.insert_task("heavy1", "k", {50}, [&, log] { log(1); },
+                {{heavy, Access::ReadWrite}});
+  g.insert_task("light1", "k", {2}, [&, log] { log(11); },
+                {{light, Access::ReadWrite}});
+  PriorityExecutor ex(1);
+  (void)ex.run(g);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 10);
+  EXPECT_EQ(order[3], 11);
+}
+
+TEST(PriorityExecutor, CostHookOverridesDefault) {
+  // Invert the urgency: make the "light" chain expensive via set_cost.
+  TaskGraph g;
+  DataId a = g.register_data("a");
+  DataId b = g.register_data("b");
+  std::vector<int> order;
+  auto log = [&order](int id) { order.push_back(id); };
+  g.insert_task("a0", "small", {100}, [&, log] { log(0); },
+                {{a, Access::ReadWrite}});
+  g.insert_task("b0", "big", {1}, [&, log] { log(1); },
+                {{b, Access::ReadWrite}});
+  PriorityExecutor ex(1);
+  ex.set_cost([](const Task& t) { return t.kind == "big" ? 1e6 : 1.0; });
+  (void)ex.run(g);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // "big" kind outranks the larger dims
+}
+
+TEST(PriorityExecutor, PropagatesTaskExceptionsWithEndStamp) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  g.insert_task("slow_boom", "k", {},
+                [] {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                  throw Error("boom");
+                },
+                {{d, Access::ReadWrite}});
+  PriorityExecutor ex(2);
+  std::exception_ptr err;
+  auto stats = ex.run(g, &err);
+  ASSERT_TRUE(err != nullptr);
+  EXPECT_THROW(std::rethrow_exception(err), Error);
+  ASSERT_EQ(stats.traces.size(), 1u);
+  EXPECT_GE(stats.traces[0].end, stats.traces[0].start);
+  EXPECT_GT(stats.traces[0].duration(), 0.0);
+}
+
+TEST(PriorityExecutor, VerifyDagGateRejectsRacyGraph) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  TaskId w1 = g.insert_task("w1", "k", {}, [] {}, {{d, Access::ReadWrite}});
+  TaskId w2 = g.insert_task("w2", "k", {}, [] {}, {{d, Access::ReadWrite}});
+  ASSERT_TRUE(g.drop_dependency_for_test(w1, w2));
+  PriorityExecutor ex(2);
+  ex.set_verify_dag(true);
+  EXPECT_THROW((void)ex.run(g), DagRaceError);
+  // With the gate off the (racy but acyclic) graph still executes.
+  ex.set_verify_dag(false);
+  auto stats = ex.run(g);
+  EXPECT_EQ(stats.traces.size(), 2u);
+}
+
+TEST(Stats, DiscoveryTimerWithinBoundsOnAllExecutors) {
+  auto make = [](TaskGraph& g) {
+    DataId d = g.register_data("x");
+    for (int i = 0; i < 12; ++i)
+      g.insert_task("t" + std::to_string(i), "k", {},
+                    [] { std::this_thread::sleep_for(std::chrono::microseconds(100)); },
+                    {{d, Access::ReadWrite}}, 0, i / 4);
+  };
+  auto check = [](const TaskGraph& g, const ExecutionStats& stats, int workers) {
+    EXPECT_EQ(validate_trace(g, stats), "");
+    ASSERT_EQ(stats.worker_discovery.size(), static_cast<std::size_t>(workers));
+    double sum = 0.0;
+    for (double w : stats.worker_discovery) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(stats.discovery_total, sum, 1e-9);
+    EXPECT_LE(stats.discovery_total, stats.wall_time * workers + 1e-6);
+    EXPECT_GE(stats.discovery_per_worker(), 0.0);
+    EXPECT_GE(stats.discovery_share(), 0.0);
+    EXPECT_LE(stats.discovery_share(), 1.0 + 1e-9);
+  };
+  {
+    TaskGraph g;
+    make(g);
+    ThreadPoolExecutor ex(2);
+    check(g, ex.run(g), 2);
+  }
+  {
+    TaskGraph g;
+    make(g);
+    ForkJoinExecutor ex(2);
+    check(g, ex.run(g), 2);
+  }
+  {
+    TaskGraph g;
+    make(g);
+    PriorityExecutor ex(2);
+    check(g, ex.run(g), 2);
+  }
+}
+
+TEST(Stats, CriticalPathTimeBoundedByWall) {
+  TaskGraph g;
+  DataId d = g.register_data("x");
+  for (int i = 0; i < 5; ++i)
+    g.insert_task("t" + std::to_string(i), "k", {},
+                  [] { std::this_thread::sleep_for(std::chrono::microseconds(200)); },
+                  {{d, Access::ReadWrite}});
+  ThreadPoolExecutor ex(2);
+  auto stats = ex.run(g);
+  const double cp = critical_path_time(g, stats);
+  // A pure chain: the duration-weighted critical path is the whole compute.
+  EXPECT_NEAR(cp, stats.compute_total, 1e-9);
+  EXPECT_LE(cp, stats.wall_time + 1e-6);
 }
 
 TEST(Stats, OverheadIsWallMinusCompute) {
