@@ -43,6 +43,8 @@
 #include "geometry/cluster_tree.hpp"
 #include "kernels/kernel_matrix.hpp"
 #include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/dag_verify.hpp"
 #include "runtime/fork_join_executor.hpp"
 #include "runtime/priority_executor.hpp"
@@ -121,6 +123,7 @@ int main(int argc, char** argv) {
   const la::index_t m_sample = cli.get_int("measured-sample", 200);
   const int workers = static_cast<int>(cli.get_int("workers", 4));
   const int reps = static_cast<int>(cli.get_int("reps", 2));
+  const la::index_t mem_n = cli.get_int("mem-n", 8192);
   const std::string json_path = cli.get_string("json", "");
   cli.reject_unknown();
 
@@ -188,9 +191,10 @@ int main(int argc, char** argv) {
         "discovery=0 row — the paper's suggested future improvement.\n");
 
     if (verify) {
-      std::printf("\nAblation C: static DAG verifier cost (dag_verify) vs DAG size\n");
+      std::printf("\nAblation C: static DAG verifier & dataflow analyzer cost "
+                  "vs DAG size\n");
       TextTable tc({"N", "tasks", "edges", "crit path", "max width", "verify (ms)",
-                    "us/task"});
+                    "analyze (ms)", "us/task", "peak bound (MB)"});
       for (auto nodes : nodes_list) {
         const la::index_t n = 2048 * nodes;
         fmt::HSSMatrix skel = fmt::make_hss_skeleton(n, leaf, rank);
@@ -198,11 +202,27 @@ int main(int argc, char** argv) {
         (void)ulv::emit_hss_ulv_dag(skel, graph, false);
         WallTimer t;
         rt::DagStats s = rt::verify_dag(graph);
-        const double ms = t.seconds() * 1e3;
+        const double vms = t.seconds() * 1e3;
+        t.reset();
+        rt::DagDataflowReport rep = rt::analyze_dag(graph);
+        const double ams = t.seconds() * 1e3;
         tc.add_row({std::to_string(n), std::to_string(s.tasks),
                     std::to_string(s.edges), std::to_string(s.critical_path),
-                    std::to_string(s.max_width), fmt_fixed(ms, 3),
-                    fmt_fixed(ms * 1e3 / static_cast<double>(s.tasks), 3)});
+                    std::to_string(s.max_width), fmt_fixed(vms, 3),
+                    fmt_fixed(ams, 3),
+                    fmt_fixed(ams * 1e3 / static_cast<double>(s.tasks), 3),
+                    fmt_fixed(static_cast<double>(rep.stats.peak_bytes_serial) /
+                                  1048576.0,
+                              1)});
+        json.row()
+            .add("phase", std::string("analyzer_cost"))
+            .add("n", n)
+            .add("tasks", s.tasks)
+            .add("edges", s.edges)
+            .add("verify_ms", vms)
+            .add("analyze_ms", ams)
+            .add("peak_serial_bytes", rep.stats.peak_bytes_serial)
+            .add("peak_any_bytes", rep.stats.peak_bytes_any);
       }
       std::printf("%s\n", tc.to_string().c_str());
     }
@@ -279,6 +299,70 @@ int main(int argc, char** argv) {
       "repeats); share folds it together with in-executor ready-queue work.\n"
       "cp util = critical_path_time/wall: how close the schedule runs to the\n"
       "measured chain bound (higher is better).\n");
+
+  // -------------------------------------------------------------------
+  // Ablation E: analyzer-driven early block release on the real
+  // construct+factor chain. Same DAGs, same seeds; the only difference is a
+  // release hook that frees retired sampling/panel blocks at their
+  // statically-proven last use, so the peaks are comparable and the root
+  // factor must stay bit-identical.
+  std::printf("\nAblation E: early block release, construct+factor chain "
+              "(N=%lld, %d workers)\n",
+              static_cast<long long>(mem_n), workers);
+  {
+    geom::Domain domain = geom::grid2d(mem_n);
+    geom::ClusterTree tree(domain, m_leaf);
+    auto kernel = kernels::make_kernel("yukawa");
+    kernels::KernelMatrix km(*kernel, tree.points());
+    fmt::KernelAccessor acc(km);
+    fmt::HSSOptions opts{.leaf_size = m_leaf, .max_rank = m_rank, .tol = 0.0,
+                         .sample_cols = m_sample};
+
+    TextTable te({"release", "build peak (MB)", "factor peak (MB)",
+                  "chain peak (MB)", "root max |diff|"});
+    la::Matrix roots[2];
+    std::int64_t chain_peak[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+      const rt::ReleaseMode mode =
+          pass == 0 ? rt::ReleaseMode::None : rt::ReleaseMode::Free;
+      la::reset_matrix_peak();
+      auto h = fmt::build_hss_parallel(acc, opts, workers, nullptr, mode);
+      const std::int64_t build_peak = la::matrix_bytes_peak();
+
+      la::reset_matrix_peak();
+      rt::TaskGraph graph;
+      auto dag = ulv::emit_hss_ulv_dag(h, graph, /*with_work=*/true, mode);
+      rt::ThreadPoolExecutor ex(workers);
+      ex.run(graph);
+      auto f = ulv::extract_factorization(dag);
+      const std::int64_t factor_peak = la::matrix_bytes_peak();
+      chain_peak[pass] = std::max(build_peak, factor_peak);
+      roots[pass] = la::Matrix::from_view(f.root_factor().view());
+
+      double root_diff = 0.0;
+      if (pass == 1)
+        for (la::index_t j = 0; j < roots[0].cols(); ++j)
+          for (la::index_t i = 0; i < roots[0].rows(); ++i)
+            root_diff = std::max(root_diff,
+                                 std::abs(roots[0](i, j) - roots[1](i, j)));
+      te.add_row({pass == 0 ? "off" : "on",
+                  fmt_fixed(static_cast<double>(build_peak) / 1048576.0, 1),
+                  fmt_fixed(static_cast<double>(factor_peak) / 1048576.0, 1),
+                  fmt_fixed(static_cast<double>(chain_peak[pass]) / 1048576.0, 1),
+                  pass == 0 ? "-" : fmt_sci(root_diff)});
+      json.row()
+          .add("phase", std::string("memory_release"))
+          .add("n", mem_n)
+          .add("release", static_cast<std::int64_t>(pass))
+          .add("build_peak_bytes", build_peak)
+          .add("factor_peak_bytes", factor_peak)
+          .add("root_max_diff", pass == 0 ? 0.0 : root_diff);
+    }
+    std::printf("%s\n", te.to_string().c_str());
+    std::printf("chain peak reduction: %.1f%%\n",
+                100.0 * (1.0 - static_cast<double>(chain_peak[1]) /
+                                   static_cast<double>(chain_peak[0])));
+  }
 
   if (!json_path.empty()) {
     if (!json.write(json_path)) {

@@ -17,6 +17,13 @@ fi
 
 cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+# Full mode runs everything with the dataflow analyzer forced on, so a DAG
+# whose declared accesses drift from its task bodies fails here even in a
+# Release build where the debug-default gate would leave the analyzer off.
+if [ "$FULL" = "1" ]; then
+  HATRIX_ANALYZE_DAG=1
+  export HATRIX_ANALYZE_DAG
+fi
 # shellcheck disable=SC2086  # LABEL_ARGS is intentionally word-split
 ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" $LABEL_ARGS
 
@@ -41,7 +48,7 @@ if [ "$FULL" = "1" ]; then
     -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_concurrent_solve test_runtime test_dag_verify \
-    test_executor_conformance test_scheduler_stress
+    test_dag_dataflow test_executor_conformance test_scheduler_stress
   ctest --test-dir build-tsan --output-on-failure -L concurrency \
     -j "$(nproc 2>/dev/null || echo 4)"
 fi

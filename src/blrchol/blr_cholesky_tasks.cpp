@@ -22,12 +22,22 @@ BLRCholDag emit_blr_cholesky_dag(const BLRMatrix& a, rt::TaskGraph& graph,
     // price communication the same as materialized ones.
     dag.diag_data[static_cast<std::size_t>(i)] = graph.register_data(
         "D(" + std::to_string(i) + ")", a.tile_size(i) * a.tile_size(i) * 8);
+    // In-place factorization: every block is preloaded from the matrix copy
+    // and holds a piece of the factor when the graph finishes.
+    graph.mark_input(dag.diag_data[static_cast<std::size_t>(i)]);
+    graph.mark_output(dag.diag_data[static_cast<std::size_t>(i)]);
     dag.tile_data[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(i));
-    for (index_t j = 0; j < i; ++j)
+    for (index_t j = 0; j < i; ++j) {
       dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
           graph.register_data(
               "A(" + std::to_string(i) + "," + std::to_string(j) + ")",
-              (a.tile_size(i) + a.tile_size(j)) * a.tile(i, j).rank() * 8);
+              (a.tile_size(i) + a.tile_size(j)) *
+                  std::max<index_t>(a.tile(i, j).rank(), 1) * 8);
+      graph.mark_input(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+      graph.mark_output(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
   }
 
   auto st = dag.state;
@@ -133,11 +143,17 @@ DenseCholDag emit_dense_cholesky_dag(la::ConstMatrixView a, la::index_t n,
   dag.tile_data.resize(static_cast<std::size_t>(p));
   for (index_t i = 0; i < p; ++i) {
     dag.tile_data[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(i) + 1);
-    for (index_t j = 0; j <= i; ++j)
+    for (index_t j = 0; j <= i; ++j) {
       dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
           graph.register_data(
               "T(" + std::to_string(i) + "," + std::to_string(j) + ")",
               ts(i) * ts(j) * 8);
+      // In-place tiled Cholesky: tiles are preloaded and hold the factor.
+      graph.mark_input(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+      graph.mark_output(
+          dag.tile_data[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
   }
 
   auto st = dag.state;

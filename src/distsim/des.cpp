@@ -28,7 +28,7 @@ std::vector<CommEdge> data_flow_edges(const rt::TaskGraph& graph) {
     for (const auto& [d, mode] : t.accesses) {
       const rt::TaskId w = last_writer[static_cast<std::size_t>(d)];
       if (w >= 0 && w != t.id) incoming[w] += graph.data(d).bytes;
-      if (mode == rt::Access::ReadWrite) last_writer[static_cast<std::size_t>(d)] = t.id;
+      if (rt::is_write(mode)) last_writer[static_cast<std::size_t>(d)] = t.id;
     }
     for (const auto& [w, bytes] : incoming) edges.push_back({w, t.id, bytes});
   }

@@ -14,7 +14,7 @@ void assign_tasks_by_output(const rt::TaskGraph& graph, Mapping& m) {
   for (const auto& t : graph.tasks()) {
     int owner = 0;
     for (const auto& [d, mode] : t.accesses) {
-      if (mode == rt::Access::ReadWrite) {
+      if (rt::is_write(mode)) {
         owner = graph.data(d).owner;
         break;
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -278,7 +279,7 @@ Guarded guarded_row_id(const BlockAccessor& acc, const std::vector<index_t>& row
 }  // namespace
 
 HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
-                               rt::TaskGraph& graph) {
+                               rt::TaskGraph& graph, rt::ReleaseMode release) {
   const index_t n = acc.size();
   const int L = hss_levels(n, opts.leaf_size);
 
@@ -307,16 +308,51 @@ HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
     }
     if (l >= 1) {
       auto& cdd = dag.coupling_data[static_cast<std::size_t>(l)];
-      for (index_t t = 0; t < st.h.num_pairs(l); ++t)
-        cdd.push_back(graph.register_data(
+      for (index_t t = 0; t < st.h.num_pairs(l); ++t) {
+        const rt::DataId cd = graph.register_data(
             "S(" + std::to_string(l) + "," + std::to_string(t) + ")",
-            opts.max_rank * opts.max_rank * 8));
+            opts.max_rank * opts.max_rank * 8);
+        // Couplings are part of the finished matrix: the final MERGE_SAMPLE
+        // write is the point of the build, never a dead store, and the
+        // block must survive to extraction.
+        graph.mark_output(cd);
+        cdd.push_back(cd);
+      }
     }
   }
 
   auto stp = dag.state;
 
+  // Early release: a node handle's last use retires the carried-up sampling
+  // state (rfac + skeleton indices) — the basis/diag it also guards belong
+  // to the finished matrix and are left alone. Couplings are outputs, so
+  // the hook never sees them.
+  if (release != rt::ReleaseMode::None) {
+    std::unordered_map<rt::DataId, std::pair<int, index_t>> node_of;
+    for (int l = 0; l <= L; ++l)
+      for (index_t i = 0; i < st.h.num_nodes(l); ++i)
+        node_of[dag.node_data[static_cast<std::size_t>(l)]
+                             [static_cast<std::size_t>(i)]] = {l, i};
+    const bool poison = release == rt::ReleaseMode::Poison;
+    graph.set_release_hook([stp, node_of, poison](rt::DataId d) {
+      const auto it = node_of.find(d);
+      if (it == node_of.end()) return;
+      auto& s = stp->st[static_cast<std::size_t>(it->second.first)]
+                       [static_cast<std::size_t>(it->second.second)];
+      if (poison) {
+        la::fill(s.rfac.view(), std::numeric_limits<double>::quiet_NaN());
+        std::fill(s.skel.begin(), s.skel.end(), index_t{0});
+      } else {
+        s.rfac = Matrix();
+        s.skel.clear();
+        s.skel.shrink_to_fit();
+      }
+    });
+  }
+
   if (L == 0) {
+    // The lone leaf IS the finished matrix.
+    graph.mark_output(dag.node_data[0][0]);
     graph.insert_task(
         "COMPRESS(0,0)", "compress", {n},
         [stp] {
@@ -510,9 +546,10 @@ HSSBuildReport build_report(const HSSBuildDag& dag) {
 }
 
 HSSMatrix build_hss_parallel(const BlockAccessor& acc, const HSSOptions& opts,
-                             int workers, HSSBuildReport* report) {
+                             int workers, HSSBuildReport* report,
+                             rt::ReleaseMode release) {
   rt::TaskGraph graph;
-  HSSBuildDag dag = emit_hss_build_dag(acc, opts, graph);
+  HSSBuildDag dag = emit_hss_build_dag(acc, opts, graph, release);
   rt::ThreadPoolExecutor ex(workers);
   ex.run(graph);
   if (report != nullptr) *report = build_report(dag);

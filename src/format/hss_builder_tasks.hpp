@@ -32,6 +32,7 @@
 #include "format/accessor.hpp"
 #include "format/hss.hpp"
 #include "format/hss_builder.hpp"
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace hatrix::fmt {
@@ -75,8 +76,19 @@ struct HSSBuildReport {
 /// closures; run them through an executor (or in insertion order for a
 /// sequential build), then call extract_built_hss. Closures may throw
 /// BasisUnderResolvedError (see hss_builder.hpp); executors rethrow it.
+///
+/// The emitter annotates handle bytes and marks couplings as graph outputs,
+/// so rt::analyze_dag runs clean on the emitted DAG. With `release` !=
+/// ReleaseMode::None it installs a release hook that retires a node's
+/// carried-up sampling state (NodeState::rfac and ::skel — dead weight once
+/// the parent TRANSFER and sibling MERGE_SAMPLE consumed them) at the
+/// handle's statically-proven last use: Free drops the storage, Poison
+/// overwrites it with NaNs / zeroed indices so a read past the last use
+/// corrupts the result detectably. The basis/diag/coupling blocks of the
+/// finished matrix are never touched.
 HSSBuildDag emit_hss_build_dag(const BlockAccessor& acc, const HSSOptions& opts,
-                               rt::TaskGraph& graph);
+                               rt::TaskGraph& graph,
+                               rt::ReleaseMode release = rt::ReleaseMode::None);
 
 /// After every task of the DAG has executed, move the finished matrix out
 /// of the shared state.
@@ -88,7 +100,9 @@ HSSBuildReport build_report(const HSSBuildDag& dag);
 /// Convenience: emit the DAG and run it on a ThreadPoolExecutor with
 /// `workers` threads. Numerically identical to build_hss for any worker
 /// count. `report`, when non-null, receives the guard statistics.
+/// `release` forwards to emit_hss_build_dag.
 HSSMatrix build_hss_parallel(const BlockAccessor& acc, const HSSOptions& opts,
-                             int workers, HSSBuildReport* report = nullptr);
+                             int workers, HSSBuildReport* report = nullptr,
+                             rt::ReleaseMode release = rt::ReleaseMode::None);
 
 }  // namespace hatrix::fmt

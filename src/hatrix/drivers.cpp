@@ -16,6 +16,8 @@
 #include "geometry/cluster_tree.hpp"
 #include "kernels/kernel_matrix.hpp"
 #include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/thread_pool_executor.hpp"
 #include "ulv/hss_ulv_tasks.hpp"
 
@@ -119,10 +121,24 @@ ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
   ConstructionOutcome out;
   rt::ThreadPoolExecutor ex(cfg.workers);
   if (cfg.verify_dag) ex.set_verify_dag(true);
+  if (cfg.analyze_dag) ex.set_analyze_dag(true);
+  const rt::ReleaseMode release =
+      cfg.early_release ? rt::ReleaseMode::Free : rt::ReleaseMode::None;
+
+  // Measure the matrix-allocation high water of the construct+factor chain
+  // from here, so the early-release saving is visible in one number.
+  la::reset_matrix_peak();
 
   WallTimer timer;
   rt::TaskGraph build_graph;
-  fmt::HSSBuildDag build_dag = fmt::emit_hss_build_dag(acc, opts, build_graph);
+  fmt::HSSBuildDag build_dag =
+      fmt::emit_hss_build_dag(acc, opts, build_graph, release);
+  if (cfg.analyze_dag) {
+    WallTimer atimer;
+    const rt::DagDataflowReport rep = rt::analyze_dag(build_graph);
+    out.analyze_seconds += atimer.seconds();
+    out.static_peak_bytes += rep.stats.peak_bytes_serial;
+  }
   ex.run(build_graph);
   const fmt::HSSBuildReport rep = fmt::build_report(build_dag);
   fmt::HSSMatrix h = fmt::extract_built_hss(build_dag);
@@ -136,11 +152,19 @@ ConstructionOutcome run_construction(const ConstructionExperiment& cfg) {
 
   timer.reset();
   rt::TaskGraph factor_graph;
-  auto factor_dag = ulv::emit_hss_ulv_dag(h, factor_graph, /*with_work=*/true);
+  auto factor_dag =
+      ulv::emit_hss_ulv_dag(h, factor_graph, /*with_work=*/true, release);
+  if (cfg.analyze_dag) {
+    WallTimer atimer;
+    const rt::DagDataflowReport rep = rt::analyze_dag(factor_graph);
+    out.analyze_seconds += atimer.seconds();
+    out.static_peak_bytes += rep.stats.peak_bytes_serial;
+  }
   ex.run(factor_graph);
   ulv::HSSULV f = ulv::extract_factorization(factor_dag);
   out.factor_seconds = timer.seconds();
   out.factor_tasks = factor_graph.num_tasks();
+  out.peak_matrix_bytes = la::matrix_bytes_peak();
 
   Rng rng(cfg.seed + 1);
   std::vector<double> b = rng.normal_vector(cfg.n);

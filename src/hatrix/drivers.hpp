@@ -71,6 +71,8 @@ struct ConstructionExperiment {
   int workers = 1;                 ///< construction/factorization workers
   std::uint64_t seed = 42;         ///< sampling seed
   bool verify_dag = false;         ///< statically verify both DAGs before running
+  bool analyze_dag = false;        ///< run the dataflow analyzer on both DAGs
+  bool early_release = false;      ///< free retired blocks at their last use
 };
 
 /// Observables of one construction run.
@@ -85,6 +87,9 @@ struct ConstructionOutcome {
   double worst_residual = 0.0;     ///< largest accepted guard probe residual
   std::int64_t build_tasks = 0;    ///< construction DAG size
   std::int64_t factor_tasks = 0;   ///< factorization DAG size
+  std::int64_t peak_matrix_bytes = 0;   ///< measured matrix-allocation high water
+  std::int64_t static_peak_bytes = 0;   ///< analyzer serial-schedule peak bound (0: analyzer off)
+  double analyze_seconds = 0.0;         ///< dataflow-analysis wall time, both DAGs (0: off)
 };
 
 /// Run one construction experiment. Throws fmt::BasisUnderResolvedError if

@@ -2,6 +2,24 @@
 
 namespace hatrix::la {
 
+namespace detail {
+std::atomic<std::int64_t> g_matrix_live{0};
+std::atomic<std::int64_t> g_matrix_peak{0};
+}  // namespace detail
+
+std::int64_t matrix_bytes_live() {
+  return detail::g_matrix_live.load(std::memory_order_relaxed);
+}
+
+std::int64_t matrix_bytes_peak() {
+  return detail::g_matrix_peak.load(std::memory_order_relaxed);
+}
+
+void reset_matrix_peak() {
+  detail::g_matrix_peak.store(detail::g_matrix_live.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+}
+
 Matrix Matrix::identity(index_t n) {
   Matrix a(n, n);
   for (index_t i = 0; i < n; ++i) a(i, i) = 1.0;

@@ -7,7 +7,9 @@
 /// `ConstMatrixView` reference sub-blocks with a leading dimension, which is
 /// what blocked factorization algorithms need.
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -18,6 +20,56 @@ namespace hatrix::la {
 using index_t = std::int64_t;
 
 class Matrix;
+
+/// Live/peak bytes currently held by Matrix storage across all threads.
+/// getrusage's ru_maxrss is monotone (an allocator rarely returns pages), so
+/// the early-release measurements track allocations at the source instead:
+/// every Matrix buffer is counted in on allocate and out on deallocate.
+[[nodiscard]] std::int64_t matrix_bytes_live();
+/// High-water mark of matrix_bytes_live() since the last reset.
+[[nodiscard]] std::int64_t matrix_bytes_peak();
+/// Reset the peak to the current live count (start of a measured region).
+void reset_matrix_peak();
+
+namespace detail {
+
+/// Counters behind the free functions above (defined in matrix.cpp).
+extern std::atomic<std::int64_t> g_matrix_live;
+extern std::atomic<std::int64_t> g_matrix_peak;
+
+/// Minimal std::vector allocator that maintains the live/peak counters.
+template <class T>
+struct TrackingAllocator {
+  using value_type = T;
+  TrackingAllocator() = default;
+  template <class U>
+  TrackingAllocator(const TrackingAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    const auto bytes = static_cast<std::int64_t>(n * sizeof(T));
+    const std::int64_t live =
+        g_matrix_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::int64_t peak = g_matrix_peak.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_matrix_peak.compare_exchange_weak(peak, live,
+                                                std::memory_order_relaxed)) {
+    }
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) {
+    g_matrix_live.fetch_sub(static_cast<std::int64_t>(n * sizeof(T)),
+                            std::memory_order_relaxed);
+    std::allocator<T>{}.deallocate(p, n);
+  }
+  friend bool operator==(const TrackingAllocator&, const TrackingAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const TrackingAllocator&, const TrackingAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace detail
 
 /// Non-owning read-only view of a column-major block.
 struct ConstMatrixView {
@@ -65,6 +117,24 @@ class Matrix {
     HATRIX_CHECK(r >= 0 && c >= 0, "negative dimension");
   }
 
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  // The implicit moves would steal data_ but copy rows_/cols_, leaving the
+  // source with nonzero dimensions over a null buffer — view() on it would
+  // then hand out a writable null view (the release-hook poison path fills
+  // whatever view it is given). Reset the source to a genuine empty matrix.
+  Matrix(Matrix&& other) noexcept
+      : rows_(std::exchange(other.rows_, 0)),
+        cols_(std::exchange(other.cols_, 0)),
+        data_(std::move(other.data_)) {}
+  Matrix& operator=(Matrix&& other) noexcept {
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::exchange(other.cols_, 0);
+    data_ = std::move(other.data_);
+    return *this;
+  }
+  ~Matrix() = default;
+
   static Matrix zeros(index_t r, index_t c) { return Matrix(r, c); }
   static Matrix identity(index_t n);
   /// i.i.d. standard normal entries.
@@ -105,7 +175,7 @@ class Matrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, detail::TrackingAllocator<double>> data_;
 };
 
 /// Deep copy helper (dst and src must have equal shapes).

@@ -142,11 +142,11 @@ DagStats verify_dag(const TaskGraph& graph) {
   for (std::size_t d = 0; d < nd; ++d) {
     const auto& acc = touch[d];
     for (std::size_t i = 0; i < acc.size(); ++i) {
-      if (acc[i].second != Access::ReadWrite) continue;
+      if (!is_write(acc[i].second)) continue;
       for (std::size_t j = 0; j < acc.size(); ++j) {
         if (j == i) continue;
         // Writer/writer pairs are checked once (from the earlier index).
-        if (acc[j].second == Access::ReadWrite && j < i) continue;
+        if (is_write(acc[j].second) && j < i) continue;
         if (acc[i].first == acc[j].first) continue;  // same task, two accesses
         if (!ordered(acc[i].first, acc[j].first)) {
           const TaskId a = std::min(acc[i].first, acc[j].first);

@@ -47,6 +47,10 @@ struct DagStats {
   std::int64_t critical_path = 0;  ///< longest chain, in tasks (unit cost)
   std::int64_t max_width = 0;      ///< widest depth level (peak task parallelism)
   double avg_width = 0.0;          ///< tasks / critical_path (mean parallelism)
+  // Filled by analyze_dag (dag_dataflow.hpp); verify_dag leaves them 0.
+  std::int64_t data_bytes = 0;        ///< total bytes of touched data handles
+  std::int64_t peak_bytes_serial = 0; ///< exact peak along insertion order
+  std::int64_t peak_bytes_any = 0;    ///< bound over any edge-consistent schedule
 };
 
 /// A task graph whose structure is malformed: a self-dependency, a dangling

@@ -4,19 +4,23 @@
 #include <chrono>
 #include <map>
 
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/dag_verify.hpp"
 #include "runtime/thread_pool_executor.hpp"
 
 namespace hatrix::rt {
 
 ForkJoinExecutor::ForkJoinExecutor(int num_workers)
-    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
+    : num_workers_(num_workers),
+      verify_dag_(verify_dag_default()),
+      analyze_dag_(analyze_dag_default()) {
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
 ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph,
                                      std::exception_ptr* error_out) {
   if (verify_dag_) (void)verify_dag(graph);
+  if (analyze_dag_) (void)analyze_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;
@@ -35,6 +39,21 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph,
   std::map<int, std::vector<TaskId>> phases;
   for (std::size_t t = 0; t < n; ++t)
     phases[graph.tasks()[t].phase].push_back(static_cast<TaskId>(t));
+
+  // Last-use early release, at barrier granularity: after a phase joins,
+  // every access its tasks declared has completed, so the coordinating
+  // thread drains the release schedule for the whole phase at once. Plain
+  // counters suffice — nothing runs concurrently with the barrier.
+  const bool do_release = static_cast<bool>(graph.release_hook());
+  const ReleasePlan plan = do_release ? release_plan(graph) : ReleasePlan{};
+  std::vector<int> release_remaining(plan.initial_uses);
+  auto release_phase = [&](const std::vector<TaskId>& ids) {
+    if (!do_release) return;
+    for (TaskId id : ids)
+      for (DataId d : plan.task_data[static_cast<std::size_t>(id)])
+        if (--release_remaining[static_cast<std::size_t>(d)] == 0)
+          graph.release_hook()(d);
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
   auto now_seconds = [&t0] {
@@ -70,9 +89,11 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph,
     stats.worker_discovery[0] += now_seconds() - t_discover;
     const double phase_start = now_seconds();
     ThreadPoolExecutor pool(num_workers_);
-    // The whole graph was already verified above; the per-phase sub-graphs
-    // re-derive their edges from the same access sets.
+    // The whole graph was already verified/analyzed above; the per-phase
+    // sub-graphs re-derive their edges from the same access sets but carry
+    // no input/output marks or release hook.
     pool.set_verify_dag(false);
+    pool.set_analyze_dag(false);
     std::exception_ptr phase_error;
     ExecutionStats phase_stats = pool.run(sub, &phase_error);
     // Splice the phase trace back into global task ids / global clock.
@@ -96,6 +117,7 @@ ExecutionStats ForkJoinExecutor::run(const TaskGraph& graph,
       first_error = phase_error;
       break;
     }
+    release_phase(ids);
   }
 
   stats.wall_time = now_seconds();

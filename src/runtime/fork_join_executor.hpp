@@ -44,9 +44,20 @@ class ForkJoinExecutor {
   /// Whether run() statically verifies the graph before executing it.
   [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
 
+  /// Toggle static dataflow analysis (dag_dataflow.hpp) before execution:
+  /// like verification, the whole graph is analyzed once up front (the
+  /// per-phase sub-graphs carry no input/output marks and are not
+  /// re-analyzed). Defaults to rt::analyze_dag_default(). The release
+  /// schedule is coarser here than on the asynchronous executors: handles
+  /// retire at the phase barrier after their last accessor's phase.
+  void set_analyze_dag(bool enabled) { analyze_dag_ = enabled; }
+  /// Whether run() runs the dataflow pass before executing the graph.
+  [[nodiscard]] bool analyze_dag_enabled() const { return analyze_dag_; }
+
  private:
   int num_workers_;
   bool verify_dag_;
+  bool analyze_dag_;
 };
 
 }  // namespace hatrix::rt

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/dag_dataflow.hpp"
+
 namespace hatrix::rt {
 
 namespace {
@@ -63,7 +65,9 @@ double default_task_cost(const Task& t) {
 }
 
 PriorityExecutor::PriorityExecutor(int num_workers)
-    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
+    : num_workers_(num_workers),
+      verify_dag_(verify_dag_default()),
+      analyze_dag_(analyze_dag_default()) {
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
@@ -72,6 +76,7 @@ ExecutionStats PriorityExecutor::run(const TaskGraph& graph,
   // A malformed or racy graph is a programming error, not a task failure:
   // it throws before any priority is computed and never lands in error_out.
   if (verify_dag_) (void)verify_dag(graph);
+  if (analyze_dag_) (void)analyze_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   const auto nw = static_cast<std::size_t>(num_workers_);
   ExecutionStats stats;
@@ -93,6 +98,23 @@ ExecutionStats PriorityExecutor::run(const TaskGraph& graph,
   std::vector<std::atomic<int>> remaining(n);
   for (std::size_t t = 0; t < n; ++t)
     remaining[t].store(graph.in_degree()[t], std::memory_order_relaxed);
+
+  // Last-use early release (same contract as ThreadPoolExecutor): refcounts
+  // from the static release schedule, hook fired when the last accessor's
+  // body has completed.
+  const bool do_release = static_cast<bool>(graph.release_hook());
+  const ReleasePlan plan = do_release ? release_plan(graph) : ReleasePlan{};
+  std::vector<std::atomic<int>> release_remaining(plan.initial_uses.size());
+  for (std::size_t d = 0; d < plan.initial_uses.size(); ++d)
+    release_remaining[d].store(plan.initial_uses[d], std::memory_order_relaxed);
+  auto release_after = [&](TaskId id) {
+    if (!do_release) return;
+    for (DataId d : plan.task_data[static_cast<std::size_t>(id)])
+      if (release_remaining[static_cast<std::size_t>(d)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1)
+        graph.release_hook()(d);
+  };
+
   std::vector<WorkerDeque> deques(nw);
   std::atomic<std::int64_t> ready_count{0};
   {
@@ -172,6 +194,7 @@ ExecutionStats PriorityExecutor::run(const TaskGraph& graph,
         }
       }
       trace.end = now_seconds();
+      release_after(entry.id);
 
       // Release dependents into the local deque (locality: the successor's
       // inputs were just produced here) and publish completion.

@@ -64,9 +64,17 @@ class PriorityExecutor {
   /// Whether run() statically verifies the graph before executing it.
   [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
 
+  /// Toggle static dataflow analysis (dag_dataflow.hpp) before execution —
+  /// identical semantics to ThreadPoolExecutor::set_analyze_dag. Defaults
+  /// to rt::analyze_dag_default().
+  void set_analyze_dag(bool enabled) { analyze_dag_ = enabled; }
+  /// Whether run() runs the dataflow pass before executing the graph.
+  [[nodiscard]] bool analyze_dag_enabled() const { return analyze_dag_; }
+
  private:
   int num_workers_;
   bool verify_dag_;
+  bool analyze_dag_;
   TaskCostFn cost_;
 };
 

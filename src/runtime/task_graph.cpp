@@ -6,9 +6,19 @@ namespace hatrix::rt {
 
 DataId TaskGraph::register_data(std::string name, std::int64_t bytes, int owner) {
   const DataId id = static_cast<DataId>(data_.size());
-  data_.push_back({id, std::move(name), bytes, owner});
+  data_.push_back({id, std::move(name), bytes, owner, false, false});
   state_.emplace_back();
   return id;
+}
+
+void TaskGraph::mark_input(DataId d) {
+  HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()), "bad data id");
+  data_[static_cast<std::size_t>(d)].input = true;
+}
+
+void TaskGraph::mark_output(DataId d) {
+  HATRIX_CHECK(d >= 0 && d < static_cast<DataId>(data_.size()), "bad data id");
+  data_[static_cast<std::size_t>(d)].output = true;
 }
 
 void TaskGraph::set_owner(DataId d, int owner) {
@@ -69,6 +79,16 @@ bool TaskGraph::drop_dependency_for_test(TaskId from, TaskId to) {
   s.erase(it);
   if (to >= 0 && to < num_tasks()) --in_degree_[static_cast<std::size_t>(to)];
   --num_edges_;
+  return true;
+}
+
+bool TaskGraph::drop_access_for_test(TaskId t, DataId d) {
+  if (t < 0 || t >= num_tasks()) return false;
+  auto& acc = tasks_[static_cast<std::size_t>(t)].accesses;
+  auto it = std::find_if(acc.begin(), acc.end(),
+                         [d](const TaskAccess& a) { return a.first == d; });
+  if (it == acc.end()) return false;
+  acc.erase(it);
   return true;
 }
 

@@ -22,11 +22,18 @@ namespace hatrix::rt {
 using TaskId = std::int64_t;  ///< index of a task in its graph
 using DataId = std::int64_t;  ///< index of a data handle in its graph
 
-/// Access mode of one task-data pair (PaRSEC's INPUT vs INOUT).
+/// Access mode of one task-data pair (PaRSEC's INPUT / INOUT / OUTPUT).
 enum class Access {
-  Read,      ///< the task only reads the block (PaRSEC INPUT)
-  ReadWrite  ///< the task mutates the block (PaRSEC INOUT)
+  Read,       ///< the task only reads the block (PaRSEC INPUT)
+  ReadWrite,  ///< the task reads then mutates the block (PaRSEC INOUT)
+  Write       ///< the task overwrites the block without reading the previous
+              ///< value (PaRSEC OUTPUT) — same ordering rules as ReadWrite,
+              ///< but dag_dataflow knows the prior value is not consumed
 };
+
+/// Whether an access mode mutates the block (ReadWrite or Write). The edge
+/// derivation, verifier, mapper and simulator all share this predicate.
+constexpr bool is_write(Access a) { return a != Access::Read; }
 
 /// One declared access of a task: an opaque resource id (a registered data
 /// handle — a matrix block, a node's basis slot, …) plus the access mode.
@@ -43,7 +50,19 @@ struct DataHandle {
   std::string name;       ///< display name, e.g. "diag(2,1)"
   std::int64_t bytes = 0; ///< payload size for the communication model
   int owner = 0;          ///< owning process under the chosen distribution
+  bool input = false;     ///< pre-initialized before the graph runs — a task
+                          ///< may read it before any task wrote it
+  bool output = false;    ///< consumed after the graph finishes — a final
+                          ///< write that no task reads is not a dead store,
+                          ///< and the block stays resident to the end
 };
+
+/// Hook an executor fires when a data handle's statically-proven last use
+/// has completed (dag_dataflow's release schedule): every task that declared
+/// an access to the handle has finished, so the backing storage can be freed
+/// or poisoned. Called from worker threads, at most once per handle per run;
+/// implementations only touch the state behind the released handle.
+using ReleaseHook = std::function<void(DataId)>;
 
 /// One node of the DAG.
 struct Task {
@@ -67,6 +86,22 @@ class TaskGraph {
   void set_owner(DataId d, int owner);
   /// Update the payload size of a block (set by distribution policies).
   void set_bytes(DataId d, std::int64_t bytes);
+
+  /// Declare a block pre-initialized before the graph runs (a seeded panel,
+  /// a block of the already-built matrix): dag_dataflow accepts reads of it
+  /// with no in-graph def and counts it resident from the start.
+  void mark_input(DataId d);
+  /// Declare a block consumed after the graph finishes (the factorization
+  /// result, the solution panel): a final un-read write of it is not a dead
+  /// store and it is never counted as released.
+  void mark_output(DataId d);
+
+  /// Install the release hook executors fire at each handle's last use (see
+  /// ReleaseHook). Emitters that can free retired blocks early set this;
+  /// executors consume the dag_dataflow release schedule iff it is set.
+  void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+  /// The installed release hook (empty when early release is off).
+  [[nodiscard]] const ReleaseHook& release_hook() const { return release_hook_; }
 
   /// Insert a task; dependencies are derived from `accesses` against all
   /// previously inserted tasks (last-writer / readers-barrier rules).
@@ -120,11 +155,19 @@ class TaskGraph {
   /// successor id.
   void add_dependency_for_test(TaskId from, TaskId to);
 
+  /// Test-only mutation: remove task `t`'s declared access to handle `d`,
+  /// leaving the already-derived edges untouched. This simulates an emitter
+  /// annotation bug (a forgotten read or write declaration) so dag_dataflow's
+  /// use-before-def / dead-store detection can be exercised against real
+  /// DAGs; never call it outside tests. Returns false if no such access.
+  bool drop_access_for_test(TaskId t, DataId d);
+
  private:
   void add_edge(TaskId from, TaskId to);
 
   std::vector<Task> tasks_;
   std::vector<DataHandle> data_;
+  ReleaseHook release_hook_;
   std::vector<std::vector<TaskId>> succ_;
   std::vector<int> in_degree_;
   std::int64_t num_edges_ = 0;

@@ -8,6 +8,7 @@
 #include <queue>
 #include <thread>
 
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/dag_verify.hpp"
 
 namespace hatrix::rt {
@@ -30,7 +31,9 @@ struct ReadyOrder {
 }  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(int num_workers)
-    : num_workers_(num_workers), verify_dag_(verify_dag_default()) {
+    : num_workers_(num_workers),
+      verify_dag_(verify_dag_default()),
+      analyze_dag_(analyze_dag_default()) {
   HATRIX_CHECK(num_workers >= 1, "executor needs at least one worker");
 }
 
@@ -39,6 +42,7 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
   // A malformed or racy graph is a programming error, not a task failure:
   // it throws before any work runs and never lands in `error_out`.
   if (verify_dag_) (void)verify_dag(graph);
+  if (analyze_dag_) (void)analyze_dag(graph);
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   ExecutionStats stats;
   stats.workers = num_workers_;
@@ -59,6 +63,23 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
 
   for (std::size_t t = 0; t < n; ++t)
     if (graph.in_degree()[t] == 0) ready.push(static_cast<TaskId>(t));
+
+  // Last-use early release: when the graph carries a release hook, seed a
+  // refcount per handle from the static release schedule and fire the hook
+  // the moment the last accessor's body has completed. fetch_sub with
+  // acq_rel gives the hook a happens-before edge over every access.
+  const bool do_release = static_cast<bool>(graph.release_hook());
+  const ReleasePlan plan = do_release ? release_plan(graph) : ReleasePlan{};
+  std::vector<std::atomic<int>> release_remaining(plan.initial_uses.size());
+  for (std::size_t d = 0; d < plan.initial_uses.size(); ++d)
+    release_remaining[d].store(plan.initial_uses[d], std::memory_order_relaxed);
+  auto release_after = [&](TaskId id) {
+    if (!do_release) return;
+    for (DataId d : plan.task_data[static_cast<std::size_t>(id)])
+      if (release_remaining[static_cast<std::size_t>(d)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1)
+        graph.release_hook()(d);
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
   auto now_seconds = [&t0] {
@@ -111,6 +132,7 @@ ExecutionStats ThreadPoolExecutor::run(const TaskGraph& graph,
         }
       }
       trace.end = now_seconds();
+      release_after(id);
 
       {
         const double t_rel = now_seconds();

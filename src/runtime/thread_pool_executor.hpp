@@ -43,9 +43,20 @@ class ThreadPoolExecutor {
   /// Whether run() statically verifies the graph before executing it.
   [[nodiscard]] bool verify_dag_enabled() const { return verify_dag_; }
 
+  /// Toggle static dataflow analysis (dag_dataflow.hpp) before execution.
+  /// When enabled, run() throws DagUseBeforeDefError — directly, never
+  /// through `error_out` — before any task body executes; warnings are not
+  /// fatal. Defaults to rt::analyze_dag_default() (HATRIX_ANALYZE_DAG env,
+  /// else on in debug builds). Independent of the release schedule: that is
+  /// consumed whenever the graph has a release hook installed.
+  void set_analyze_dag(bool enabled) { analyze_dag_ = enabled; }
+  /// Whether run() runs the dataflow pass before executing the graph.
+  [[nodiscard]] bool analyze_dag_enabled() const { return analyze_dag_; }
+
  private:
   int num_workers_;
   bool verify_dag_;
+  bool analyze_dag_;
 };
 
 }  // namespace hatrix::rt

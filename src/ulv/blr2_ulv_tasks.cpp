@@ -27,12 +27,15 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
     const std::string tag = "(" + std::to_string(i) + ")";
     diag_d[static_cast<std::size_t>(i)] = graph.register_data(
         "diag" + tag, nd.block_size() * nd.block_size() * 8);
+    // The diagonal blocks come from the built matrix: no task writes them.
+    graph.mark_input(diag_d[static_cast<std::size_t>(i)]);
     rot_d[static_cast<std::size_t>(i)] = graph.register_data(
         "rotated" + tag, nd.block_size() * nd.block_size() * 8);
     schur_d[static_cast<std::size_t>(i)] =
         graph.register_data("schur" + tag, nd.rank * nd.rank * 8);
   }
   rt::DataId merged_d = graph.register_data("merged", total_rank * total_rank * 8);
+  graph.mark_output(merged_d);  // becomes the factorization's root factor
 
   auto stp = dag.state;
   for (index_t i = 0; i < p; ++i) {
@@ -48,7 +51,7 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
         })
                   : std::function<void()>(),
         {{diag_d[static_cast<std::size_t>(i)], rt::Access::Read},
-         {rot_d[static_cast<std::size_t>(i)], rt::Access::ReadWrite}},
+         {rot_d[static_cast<std::size_t>(i)], rt::Access::Write}},
         1, 0);
     graph.insert_task(
         "PARTIAL_FACTOR" + tag, "partial_factor", {nd.block_size(), nd.rank},
@@ -63,7 +66,7 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
         })
                   : std::function<void()>(),
         {{rot_d[static_cast<std::size_t>(i)], rt::Access::Read},
-         {schur_d[static_cast<std::size_t>(i)], rt::Access::ReadWrite}},
+         {schur_d[static_cast<std::size_t>(i)], rt::Access::Write}},
         1, 0);
   }
 
@@ -72,7 +75,7 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
   std::vector<std::pair<rt::DataId, rt::Access>> merge_access;
   for (index_t i = 0; i < p; ++i)
     merge_access.push_back({schur_d[static_cast<std::size_t>(i)], rt::Access::Read});
-  merge_access.push_back({merged_d, rt::Access::ReadWrite});
+  merge_access.push_back({merged_d, rt::Access::Write});
   graph.insert_task(
       "MERGE", "merge", {total_rank, 0},
       with_work ? std::function<void()>([stp, total_rank] {

@@ -44,14 +44,25 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
   for (int l = 0; l <= L; ++l) {
     for (index_t i = 0; i < a.num_nodes(l); ++i) {
       const std::string tag = "(" + std::to_string(l) + "," + std::to_string(i) + ")";
-      const index_t k = a.node(l, i).rank;
-      const index_t bytes = 8 * std::max<index_t>(k, 1) * std::max<index_t>(nrhs, 1);
+      // Panel row count: leaf panels span the node's rows, internal panels
+      // hold the children's gathered skeleton rows.
+      const index_t rows =
+          l == L ? a.node(l, i).block_size()
+                 : a.node(l + 1, 2 * i).rank + a.node(l + 1, 2 * i + 1).rank;
+      const index_t bytes =
+          8 * std::max<index_t>(rows, 1) * std::max<index_t>(nrhs, 1);
       rhs_d[static_cast<std::size_t>(l)].push_back(
           graph.register_data("rhs" + tag, bytes));
       fwd_d[static_cast<std::size_t>(l)].push_back(
           graph.register_data("fwd" + tag, bytes));
       sol_d[static_cast<std::size_t>(l)].push_back(
           graph.register_data("sol" + tag, bytes));
+      if (l == L) {
+        // Leaf RHS panels are seeded from `b` before the graph runs; leaf
+        // solution panels are the rows of the global solution.
+        graph.mark_input(rhs_d[static_cast<std::size_t>(l)].back());
+        graph.mark_output(sol_d[static_cast<std::size_t>(l)].back());
+      }
     }
   }
 
@@ -59,6 +70,9 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
 
   if (L == 0) {
     st.x = Matrix::from_view(b);
+    // The lone panel is preloaded with b and solved in place.
+    graph.mark_input(sol_d[0][0]);
+    graph.mark_output(sol_d[0][0]);
     graph.insert_task(
         "ROOT_SOLVE", "potrs", {n, nrhs},
         [stp] {
@@ -96,7 +110,7 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
           {{rhs_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::Read},
            {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           l, phase);
     }
     for (index_t t = 0; t < a.num_pairs(l); ++t) {
@@ -124,7 +138,7 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
            {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t + 1)],
             rt::Access::Read},
            {rhs_d[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(t)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           l, phase);
     }
   }
@@ -138,7 +152,7 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
           la::potrs(stp->factor->root_factor().view(), z.view());
         stp->sol[0][0] = std::move(z);
       },
-      {{rhs_d[0][0], rt::Access::Read}, {sol_d[0][0], rt::Access::ReadWrite}}, 0, L);
+      {{rhs_d[0][0], rt::Access::Read}, {sol_d[0][0], rt::Access::Write}}, 0, L);
 
   // Backward sweep, root to leaves.
   for (int l = 1; l <= L; ++l) {
@@ -179,7 +193,7 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
            {fwd_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::Read},
            {sol_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           -l, phase);
     }
   }

@@ -1,5 +1,8 @@
 #include "ulv/hss_ulv_tasks.hpp"
 
+#include <limits>
+#include <unordered_map>
+
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -24,7 +27,7 @@ Matrix merge_diag(const Matrix& ss0, const Matrix& ss1, const Matrix& s_lower) {
 }  // namespace
 
 HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
-                           bool with_work) {
+                           bool with_work, rt::ReleaseMode release) {
   const int L = a.max_level();
   HSSULVDag dag;
   dag.state = std::make_shared<HSSULVTaskState>();
@@ -66,16 +69,76 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
       bd.push_back(graph.register_data("basis" + tag, m * nd.rank * 8));
       rd.push_back(graph.register_data("rotated" + tag, m * m * 8));
       sd.push_back(graph.register_data("schur" + tag, nd.rank * nd.rank * 8));
+      // Bases come from the built matrix: no task writes them. Same for the
+      // leaf diagonals, seeded from a.node(L,i).diag before the graph runs.
+      graph.mark_input(bd.back());
+      if (l == L) graph.mark_input(dd.back());
     }
     if (l >= 1) {
       auto& cd = dag.coupling_data[static_cast<std::size_t>(l)];
-      for (index_t t = 0; t < a.num_pairs(l); ++t)
+      for (index_t t = 0; t < a.num_pairs(l); ++t) {
         cd.push_back(graph.register_data(
             "S(" + std::to_string(l) + "," + std::to_string(t) + ")",
             a.node(l, 2 * t).rank * a.node(l, 2 * t + 1).rank * 8));
+        graph.mark_input(cd.back());  // read-only piece of the built matrix
+      }
     }
   }
-  dag.root_data = graph.register_data("root", 0);
+  // Root working block: the merged top-level diagonal (dense leaf when the
+  // tree has a single node).
+  const index_t kroot =
+      L >= 1 ? a.node(1, 0).rank + a.node(1, 1).rank : a.size();
+  dag.root_data = graph.register_data("root", kroot * kroot * 8);
+  graph.mark_output(dag.root_data);  // the factorization's result
+
+  // Early release: the working diagonal / rotated / Schur slots retire at
+  // their statically-proven last use instead of living until extraction.
+  // The slots the factorization keeps (factors, root_l) have no handles and
+  // are never touched; neither are the const built-matrix blocks behind the
+  // basis/coupling input handles.
+  if (with_work && release != rt::ReleaseMode::None) {
+    enum class Slot { Diag, Rotated, Schur };
+    std::unordered_map<rt::DataId, std::pair<Slot, std::pair<int, index_t>>> slot_of;
+    for (int l = 0; l <= L; ++l)
+      for (index_t i = 0; i < a.num_nodes(l); ++i) {
+        const auto li = static_cast<std::size_t>(l);
+        const auto ii = static_cast<std::size_t>(i);
+        slot_of[dag.diag_data[li][ii]] = {Slot::Diag, {l, i}};
+        slot_of[dag.rotated_data[li][ii]] = {Slot::Rotated, {l, i}};
+        slot_of[dag.schur_data[li][ii]] = {Slot::Schur, {l, i}};
+      }
+    const bool poison = release == rt::ReleaseMode::Poison;
+    auto stp = dag.state;
+    graph.set_release_hook([stp, slot_of, poison](rt::DataId d) {
+      const auto it = slot_of.find(d);
+      if (it == slot_of.end()) return;
+      const auto li = static_cast<std::size_t>(it->second.second.first);
+      const auto ii = static_cast<std::size_t>(it->second.second.second);
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      switch (it->second.first) {
+        case Slot::Diag:
+          if (poison)
+            la::fill(stp->diags[li][ii].view(), nan);
+          else
+            stp->diags[li][ii] = Matrix();
+          break;
+        case Slot::Rotated:
+          if (poison) {
+            la::fill(stp->rotated[li][ii].q_comp.view(), nan);
+            la::fill(stp->rotated[li][ii].rotated.view(), nan);
+          } else {
+            stp->rotated[li][ii] = DiagProductResult();
+          }
+          break;
+        case Slot::Schur:
+          if (poison)
+            la::fill(stp->schur[li][ii].view(), nan);
+          else
+            stp->schur[li][ii] = Matrix();
+          break;
+      }
+    });
+  }
 
   if (with_work && L >= 0) {
     // Seed the leaf working diagonals.
@@ -93,7 +156,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
           la::potrf(stp->root_l.view());
         })
                   : std::function<void()>(),
-        {{dag.root_data, rt::Access::ReadWrite}}, /*priority=*/0, /*phase=*/0);
+        {{dag.root_data, rt::Access::Write}}, /*priority=*/0, /*phase=*/0);
     return dag;
   }
 
@@ -128,7 +191,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
            {dag.basis_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::Read},
            {dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           priority, phase);
 
       graph.insert_task(
@@ -152,7 +215,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
           {{dag.rotated_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
             rt::Access::ReadWrite},
            {dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           priority, phase);
     }
 
@@ -181,7 +244,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
            {dag.coupling_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(t)],
             rt::Access::Read},
            {dag.diag_data[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(t)],
-            rt::Access::ReadWrite}},
+            rt::Access::Write}},
           priority, phase);
     }
   }
@@ -198,7 +261,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
         })
                   : std::function<void()>(),
         {{dag.diag_data[0][0], rt::Access::Read},
-         {dag.root_data, rt::Access::ReadWrite}},
+         {dag.root_data, rt::Access::Write}},
         /*priority=*/0, /*phase=*/L);
   }
 

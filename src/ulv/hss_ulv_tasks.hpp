@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "format/hss.hpp"
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/task_graph.hpp"
 #include "ulv/hss_ulv.hpp"
 
@@ -49,8 +50,18 @@ struct HSSULVDag {
 /// `with_work == true` attaches real computation closures (run the graph,
 /// then call `extract_factorization`); `false` emits a costing-only DAG for
 /// the discrete-event simulator (kinds/dims populated, no closures).
+///
+/// Handles carry real byte sizes and input/output marks (leaf diagonals,
+/// bases and couplings are graph inputs — they come from the built matrix;
+/// the root factor is the output), so rt::analyze_dag runs clean. With
+/// `release` != ReleaseMode::None (with_work only) a release hook retires
+/// the working diag / rotated / Schur slots at their statically-proven last
+/// use: Free drops the storage (the seed kept every slot alive to
+/// extraction), Poison NaN-fills it so a read past the last use corrupts
+/// the result detectably. The extracted factors and root are never touched.
 HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
-                           bool with_work);
+                           bool with_work,
+                           rt::ReleaseMode release = rt::ReleaseMode::None);
 
 /// After an executor ran the with-work DAG, package the computed pieces into
 /// the same HSSULV object the sequential path produces.

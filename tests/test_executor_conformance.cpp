@@ -103,17 +103,22 @@ struct ChainResult {
 };
 
 /// Build + factor + solve, running all three DAGs through `runner`.
+/// `release` wires the emitters' early-release hooks (dag_dataflow last-use
+/// schedule): Free drops retired blocks, Poison NaN-fills them so any task
+/// reading past its proven last use corrupts the chain's bits.
 template <typename Runner>
-ChainResult run_chain(const ChainProblem& p, Runner&& runner) {
+ChainResult run_chain(const ChainProblem& p, Runner&& runner,
+                      rt::ReleaseMode release = rt::ReleaseMode::None) {
   fmt::KernelAccessor acc(*p.km);
 
   rt::TaskGraph build_graph;
-  auto build_dag = fmt::emit_hss_build_dag(acc, p.opts(), build_graph);
+  auto build_dag = fmt::emit_hss_build_dag(acc, p.opts(), build_graph, release);
   runner(build_graph);
   ChainResult out{fmt::extract_built_hss(build_dag), {}, {}};
 
   rt::TaskGraph ulv_graph;
-  auto ulv_dag = ulv::emit_hss_ulv_dag(out.h, ulv_graph, /*with_work=*/true);
+  auto ulv_dag =
+      ulv::emit_hss_ulv_dag(out.h, ulv_graph, /*with_work=*/true, release);
   runner(ulv_graph);
   auto factor = ulv::extract_factorization(ulv_dag);
   out.root = Matrix::from_view(factor.root_factor().view());
@@ -146,6 +151,32 @@ class ExecutorConformance
   [[nodiscard]] int workers() const { return std::get<1>(GetParam()); }
 };
 
+/// Bit-identical, not approximately equal: the per-node deterministic RNG
+/// and disjoint task outputs make every schedule produce the same bits.
+void expect_chain_bit_identical(const ChainResult& got, const ChainResult& ref,
+                                const std::string& what) {
+  ASSERT_EQ(got.x.size(), ref.x.size()) << what;
+  for (std::size_t i = 0; i < ref.x.size(); ++i)
+    ASSERT_EQ(got.x[i], ref.x[i]) << what << ": solution differs at " << i;
+
+  ASSERT_EQ(got.root.rows(), ref.root.rows()) << what;
+  ASSERT_EQ(got.root.cols(), ref.root.cols()) << what;
+  for (index_t i = 0; i < ref.root.rows(); ++i)
+    for (index_t j = 0; j < ref.root.cols(); ++j)
+      ASSERT_EQ(got.root(i, j), ref.root(i, j))
+          << what << ": root factor differs";
+
+  // Spot-check a built leaf basis, bitwise.
+  const int L = ref.h.max_level();
+  const auto& bref = ref.h.node(L, 0).basis;
+  const auto& bgot = got.h.node(L, 0).basis;
+  ASSERT_EQ(bgot.rows(), bref.rows()) << what;
+  ASSERT_EQ(bgot.cols(), bref.cols()) << what;
+  for (index_t i = 0; i < bref.rows(); ++i)
+    for (index_t j = 0; j < bref.cols(); ++j)
+      ASSERT_EQ(bgot(i, j), bref(i, j)) << what << ": leaf basis differs";
+}
+
 TEST_P(ExecutorConformance, ChainBitIdenticalToSerialInsertionOrder) {
   const auto& p = chain_problem();
   const auto& ref = serial_chain();
@@ -154,28 +185,37 @@ TEST_P(ExecutorConformance, ChainBitIdenticalToSerialInsertionOrder) {
     ASSERT_EQ(rt::validate_trace(g, stats), "")
         << exec_name(exec()) << " workers=" << workers();
   });
+  expect_chain_bit_identical(got, ref, exec_name(exec()));
+}
 
-  // Bit-identical, not approximately equal: the per-node deterministic RNG
-  // and disjoint task outputs make every schedule produce the same bits.
-  ASSERT_EQ(got.x.size(), ref.x.size());
-  for (std::size_t i = 0; i < ref.x.size(); ++i)
-    ASSERT_EQ(got.x[i], ref.x[i]) << "solution differs at " << i;
+TEST_P(ExecutorConformance, ChainBitIdenticalWithEarlyRelease) {
+  // Free mode drops every retired sampling/panel block at its statically
+  // proven last use; the chain's bits must not move. The executors fire the
+  // release hook from worker threads, so this also exercises the refcount
+  // path at every worker count.
+  const auto& p = chain_problem();
+  const auto& ref = serial_chain();
+  auto got = run_chain(
+      p,
+      [&](const rt::TaskGraph& g) { (void)run_any(exec(), workers(), g); },
+      rt::ReleaseMode::Free);
+  expect_chain_bit_identical(got, ref,
+                             std::string(exec_name(exec())) + "+release");
+}
 
-  ASSERT_EQ(got.root.rows(), ref.root.rows());
-  ASSERT_EQ(got.root.cols(), ref.root.cols());
-  for (index_t i = 0; i < ref.root.rows(); ++i)
-    for (index_t j = 0; j < ref.root.cols(); ++j)
-      ASSERT_EQ(got.root(i, j), ref.root(i, j)) << "root factor differs";
-
-  // Spot-check a built leaf basis, bitwise.
-  const int L = ref.h.max_level();
-  const auto& bref = ref.h.node(L, 0).basis;
-  const auto& bgot = got.h.node(L, 0).basis;
-  ASSERT_EQ(bgot.rows(), bref.rows());
-  ASSERT_EQ(bgot.cols(), bref.cols());
-  for (index_t i = 0; i < bref.rows(); ++i)
-    for (index_t j = 0; j < bref.cols(); ++j)
-      ASSERT_EQ(bgot(i, j), bref(i, j)) << "leaf basis differs";
+TEST_P(ExecutorConformance, PoisonOnReleaseKeepsChainBitIdentical) {
+  // Debug mode: retired blocks are NaN-filled instead of freed. If any task
+  // read a block past its statically-proven last use, the NaNs would
+  // propagate into the factor/solution and the bitwise compare would fail —
+  // this is the executable proof the analyzer's lifetimes are conservative.
+  const auto& p = chain_problem();
+  const auto& ref = serial_chain();
+  auto got = run_chain(
+      p,
+      [&](const rt::TaskGraph& g) { (void)run_any(exec(), workers(), g); },
+      rt::ReleaseMode::Poison);
+  expect_chain_bit_identical(got, ref,
+                             std::string(exec_name(exec())) + "+poison");
 }
 
 /// The typed error every executor must deliver intact.

@@ -36,8 +36,12 @@ TEST(ExecutorFuzz, RandomLayeredGraphsRespectDependencies) {
     std::vector<rt::DataId> chain_data;
     for (int c = 0; c < chains; ++c)
       chain_data.push_back(g.register_data("chain" + std::to_string(c)));
-    // Shared datum creating random cross-chain edges.
+    // Shared datum creating random cross-chain edges. Its first toucher may
+    // be a pure Read, so it is a graph input as far as dataflow analysis is
+    // concerned (the executors analyze before running when
+    // HATRIX_ANALYZE_DAG=1).
     rt::DataId shared = g.register_data("shared");
+    g.mark_input(shared);
 
     auto log = std::make_shared<std::vector<std::vector<int>>>(
         static_cast<std::size_t>(chains));

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "runtime/dag_dataflow.hpp"
 #include "runtime/dag_verify.hpp"
 #include "runtime/fork_join_executor.hpp"
 #include "runtime/priority_executor.hpp"
@@ -53,16 +54,21 @@ struct ExecutionLog {
 
 /// Build a seeded random DAG. Tasks declare 1..max_accesses accesses over a
 /// pool of num_data blocks (60% Read / 40% ReadWrite), so the graph derives
-/// a random mix of RAW/WAR/WAW edges. Phases are monotone non-decreasing in
-/// insertion order (phase = i * num_phases / num_tasks), which is the
-/// fork-join executor's structural requirement; dependency edges may still
-/// cross several phases at once. Cost dims are random so the priority
-/// executor's bottom levels are non-trivial.
+/// a random mix of RAW/WAR/WAW edges. The first access of every block is
+/// forced to ReadWrite, so each handle has an in-graph def and the dataflow
+/// analyzer (which the executors run in debug builds) finds no
+/// use-before-def; blocks carry non-zero byte sizes for the same reason.
+/// Phases are monotone non-decreasing in insertion order
+/// (phase = i * num_phases / num_tasks), which is the fork-join executor's
+/// structural requirement; dependency edges may still cross several phases
+/// at once. Cost dims are random so the priority executor's bottom levels
+/// are non-trivial.
 void build_random_dag(const Shape& sh, TaskGraph& g, ExecutionLog& log) {
   Rng rng(sh.seed);
   std::vector<DataId> data;
   for (std::int64_t d = 0; d < sh.num_data; ++d)
-    data.push_back(g.register_data("blk" + std::to_string(d)));
+    data.push_back(g.register_data("blk" + std::to_string(d), 64 + 8 * d));
+  std::vector<char> written(static_cast<std::size_t>(sh.num_data), 0);
 
   for (std::int64_t i = 0; i < sh.num_tasks; ++i) {
     const int phase =
@@ -70,15 +76,21 @@ void build_random_dag(const Shape& sh, TaskGraph& g, ExecutionLog& log) {
     const int na = 1 + static_cast<int>(rng.index(sh.max_accesses));
     std::vector<TaskAccess> acc;
     for (int a = 0; a < na; ++a) {
-      const DataId d = data[static_cast<std::size_t>(rng.index(sh.num_data))];
+      const std::int64_t di = rng.index(sh.num_data);
+      const DataId d = data[static_cast<std::size_t>(di)];
       bool dup = false;
       for (const auto& [prev, mode] : acc) dup = dup || prev == d;
       if (dup) continue;  // one declaration per block per task
-      acc.emplace_back(d, rng.uniform() < 0.6 ? Access::Read : Access::ReadWrite);
+      const bool read = rng.uniform() < 0.6 &&
+                        written[static_cast<std::size_t>(di)] != 0;
+      acc.emplace_back(d, read ? Access::Read : Access::ReadWrite);
+      if (!read) written[static_cast<std::size_t>(di)] = 1;
     }
-    if (acc.empty())
-      acc.emplace_back(data[static_cast<std::size_t>(rng.index(sh.num_data))],
-                       Access::ReadWrite);
+    if (acc.empty()) {
+      const std::int64_t di = rng.index(sh.num_data);
+      acc.emplace_back(data[static_cast<std::size_t>(di)], Access::ReadWrite);
+      written[static_cast<std::size_t>(di)] = 1;
+    }
     std::vector<std::int64_t> dims{1 + rng.index(64), 1 + rng.index(64)};
     auto* lp = &log;
     g.insert_task("t" + std::to_string(i), "fuzz", std::move(dims),
@@ -177,6 +189,89 @@ TEST_P(SchedulerStress, PriorityWithCostHookStillHonorsDependencies) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, SchedulerStress,
                          ::testing::Values(1, 2, 4, 8));
+
+TEST(AnalyzerFuzz, DroppedAccessFlagsExactTaskAndResource) {
+  // Satellite of the dataflow analyzer: reuse the random-DAG generator,
+  // delete ONE declared access from an otherwise-clean graph, and require
+  // the analyzer to name exactly the seeded task/resource pair —
+  //   * dropping a handle's def turns its first reader into a use-before-def;
+  //   * dropping the sole read of a single-writer handle turns that writer
+  //     into a dead store.
+  int def_drops = 0;
+  int read_drops = 0;
+  for (std::uint64_t seed = 200; seed < 216; ++seed) {
+    const Shape sh{seed, 10, 120, 4, 3};
+
+    // Reconstruct the per-handle access chains from an intact copy.
+    TaskGraph probe;
+    ExecutionLog plog(sh.num_tasks);
+    build_random_dag(sh, probe, plog);
+    std::vector<std::vector<std::pair<TaskId, Access>>> ev(probe.data().size());
+    for (const auto& t : probe.tasks())
+      for (const auto& [d, m] : t.accesses)
+        ev[static_cast<std::size_t>(d)].push_back({t.id, m});
+    ASSERT_NO_THROW((void)analyze_dag(probe)) << "seed " << seed;
+
+    // Mutation A: drop the def of a handle whose next accessor is a pure
+    // Read; the analyzer must blame that reader for that handle.
+    for (std::size_t d = 0; d < ev.size(); ++d) {
+      const auto& ch = ev[d];
+      if (ch.size() < 2 || !is_write(ch[0].second) ||
+          ch[1].second != Access::Read)
+        continue;
+      TaskGraph g;
+      ExecutionLog log(sh.num_tasks);
+      build_random_dag(sh, g, log);
+      ASSERT_TRUE(g.drop_access_for_test(ch[0].first, static_cast<DataId>(d)));
+      try {
+        (void)analyze_dag(g);
+        FAIL() << "seed " << seed << ": dropped def of blk" << d
+               << " not flagged";
+      } catch (const DagUseBeforeDefError& e) {
+        EXPECT_EQ(e.task, ch[1].first) << "seed " << seed;
+        EXPECT_EQ(e.resource, static_cast<DataId>(d)) << "seed " << seed;
+      }
+      ++def_drops;
+      break;
+    }
+
+    // Mutation B: drop the sole read of a write-once handle; the analyzer
+    // must report its writer as a dead store on that handle. A sparse shape
+    // (more blocks than accesses) makes write-then-single-read chains common.
+    const Shape shb{seed + 1000, 40, 30, 4, 2};
+    TaskGraph probe_b;
+    ExecutionLog plog_b(shb.num_tasks);
+    build_random_dag(shb, probe_b, plog_b);
+    std::vector<std::vector<std::pair<TaskId, Access>>> evb(
+        probe_b.data().size());
+    for (const auto& t : probe_b.tasks())
+      for (const auto& [d, m] : t.accesses)
+        evb[static_cast<std::size_t>(d)].push_back({t.id, m});
+    for (std::size_t d = 0; d < evb.size(); ++d) {
+      const auto& ch = evb[d];
+      if (ch.size() != 2 || !is_write(ch[0].second) ||
+          ch[1].second != Access::Read)
+        continue;
+      TaskGraph g;
+      ExecutionLog log(shb.num_tasks);
+      build_random_dag(shb, g, log);
+      ASSERT_TRUE(g.drop_access_for_test(ch[1].first, static_cast<DataId>(d)));
+      DagDataflowReport rep = analyze_dag(g);
+      bool found = false;
+      for (const auto& w : rep.warnings)
+        found = found || (w.kind == DagWarningKind::DeadStore &&
+                          w.task == ch[0].first &&
+                          w.resource == static_cast<DataId>(d));
+      EXPECT_TRUE(found) << "seed " << seed << ": dead store on blk" << d
+                         << " not flagged";
+      ++read_drops;
+      break;
+    }
+  }
+  // The seed range must actually exercise both mutations.
+  EXPECT_GT(def_drops, 4);
+  EXPECT_GT(read_drops, 4);
+}
 
 TEST(SchedulerStressRepeats, PriorityManySeedsAtEightWorkers) {
   // Extra seeds at the highest worker count: the steal path and idle
