@@ -76,6 +76,38 @@ int main(int argc, char** argv) {
     }));
   }
 
+  // Tall-skinny panel products: the m x r (r = rank) basis updates that
+  // dominate the HSS build and ULV sweeps. Small inner dimension, so these
+  // measure the packing overhead the square cases amortize away.
+  for (la::index_t m : {1024, 4096}) {
+    const la::index_t r = 40, k = 40;
+    Rng rng(7);
+    Matrix a = Matrix::random_normal(rng, m, k);
+    Matrix b = Matrix::random_normal(rng, k, r);
+    Matrix c(m, r);
+    cases.push_back(timed("gemm_tall", m, 2.0 * m * r * k, min_time, [&] {
+      la::gemm(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0, c.view());
+    }));
+  }
+
+  // FP32 gemm: the storage precision of mixed-mode low-rank blocks. Twice
+  // the lanes per vector register, so the target is ~2x the FP64 rate.
+  for (la::index_t n : {64, 256}) {
+    Rng rng(8);
+    Matrix ad = Matrix::random_normal(rng, n, n);
+    Matrix bd = Matrix::random_normal(rng, n, n);
+    la::MatrixF a(n, n), b(n, n), c(n, n);
+    for (la::index_t j = 0; j < n; ++j)
+      for (la::index_t i = 0; i < n; ++i) {
+        a(i, j) = static_cast<float>(ad(i, j));
+        b(i, j) = static_cast<float>(bd(i, j));
+      }
+    cases.push_back(timed("gemm_f32", n, 2.0 * n * n * n, min_time, [&] {
+      la::gemm(1.0F, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0F,
+               c.view());
+    }));
+  }
+
   for (la::index_t n : {64, 128, 256, 512}) {
     Rng rng(2);
     Matrix a = Matrix::random_spd(rng, n);
@@ -85,7 +117,32 @@ int main(int argc, char** argv) {
     }));
   }
 
-  for (la::index_t n : {128, 256}) {
+  {
+    const la::index_t n = 256;
+    Rng rng(9);
+    Matrix ad = Matrix::random_spd(rng, n);
+    la::MatrixF a(n, n);
+    for (la::index_t j = 0; j < n; ++j)
+      for (la::index_t i = 0; i < n; ++i) a(i, j) = static_cast<float>(ad(i, j));
+    la::MatrixF work(n, n);
+    cases.push_back(timed("potrf_f32", n, n * n * n / 3.0, min_time, [&] {
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i < n; ++i) work(i, j) = a(i, j);
+      la::potrf(work.view());
+    }));
+  }
+
+  // syrk: the Schur-complement update of every partial factorization.
+  for (la::index_t n : {64, 128, 256}) {
+    Rng rng(10);
+    Matrix a = Matrix::random_normal(rng, n, n);
+    Matrix c(n, n);
+    cases.push_back(timed("syrk", n, 2.0 * n * n * n, min_time, [&] {
+      la::syrk(1.0, a.view(), la::Trans::No, 0.0, c.view());
+    }));
+  }
+
+  for (la::index_t n : {128, 256, 512}) {
     Rng rng(3);
     Matrix a = Matrix::random_spd(rng, n);
     la::potrf(a.view());

@@ -39,8 +39,12 @@ if [ "$FULL" = "1" ]; then
   # so a scheduling regression that slips past the unit suites still fails
   # the check line.
   HATRIX_VERIFY_DAG=1 ./build/bench/bench_ablation_runtime --skip-sim \
-    --measured-n 1024 --workers 2 --reps 1 \
+    --measured-n 1024 --workers 2 --reps 1 --mem-n 1024 \
     --json /tmp/hatrix_check_bench_runtime.json
+
+  # Kernel-layer perf regression gate: fresh micro-bench rates vs the
+  # committed BENCH_linalg.json baseline (hard floor on gemm n=256).
+  ./scripts/perf_gate.sh build
 
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -48,7 +52,8 @@ if [ "$FULL" = "1" ]; then
     -DHATRIX_BUILD_BENCH=OFF -DHATRIX_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_concurrent_solve test_runtime test_dag_verify \
-    test_dag_dataflow test_executor_conformance test_scheduler_stress
+    test_dag_dataflow test_executor_conformance test_scheduler_stress \
+    test_linalg_conformance
   ctest --test-dir build-tsan --output-on-failure -L concurrency \
     -j "$(nproc 2>/dev/null || echo 4)"
 fi

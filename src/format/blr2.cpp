@@ -40,13 +40,14 @@ void BLR2Matrix::matvec(const std::vector<double>& x, std::vector<double>& y) co
   y.assign(static_cast<std::size_t>(n_), 0.0);
   const index_t p = num_blocks();
 
-  // Compressed inputs per block: xc_i = U_iᵀ x_i.
+  // Compressed inputs per block: xc_i = U_iᵀ x_i. F64Block promotes
+  // FP32-demoted bases/couplings on the fly (free for FP64 storage).
   std::vector<std::vector<double>> xc(static_cast<std::size_t>(p));
   for (index_t i = 0; i < p; ++i) {
     const Node& nd = node(i);
     xc[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(nd.rank), 0.0);
-    la::gemv(1.0, nd.basis.view(), la::Trans::Yes, x.data() + nd.begin, 0.0,
-             xc[static_cast<std::size_t>(i)].data());
+    la::gemv(1.0, la::F64Block(nd.basis).view(), la::Trans::Yes,
+             x.data() + nd.begin, 0.0, xc[static_cast<std::size_t>(i)].data());
   }
 
   for (index_t i = 0; i < p; ++i) {
@@ -61,12 +62,11 @@ void BLR2Matrix::matvec(const std::vector<double>& x, std::vector<double>& y) co
       const Matrix& s = i > j ? coupling(i, j) : coupling(j, i);
       if (s.empty()) continue;
       const auto& xj = xc[static_cast<std::size_t>(j)];
-      if (i > j)
-        la::gemv(1.0, s.view(), la::Trans::No, xj.data(), 1.0, yc.data());
-      else
-        la::gemv(1.0, s.view(), la::Trans::Yes, xj.data(), 1.0, yc.data());
+      la::gemv(1.0, la::F64Block(s).view(), i > j ? la::Trans::No : la::Trans::Yes,
+               xj.data(), 1.0, yc.data());
     }
-    la::gemv(1.0, nd.basis.view(), la::Trans::No, yc.data(), 1.0, y.data() + nd.begin);
+    la::gemv(1.0, la::F64Block(nd.basis).view(), la::Trans::No, yc.data(), 1.0,
+             y.data() + nd.begin);
   }
 }
 
@@ -79,8 +79,9 @@ Matrix BLR2Matrix::dense() const {
     for (index_t j = 0; j < i; ++j) {
       const Node& nj = node(j);
       const Matrix& s = coupling(i, j);
-      Matrix us = la::matmul(ni.basis.view(), s.view());
-      Matrix lower = la::matmul(us.view(), nj.basis.view(), la::Trans::No, la::Trans::Yes);
+      Matrix us = la::matmul(la::F64Block(ni.basis).view(), la::F64Block(s).view());
+      Matrix lower = la::matmul(us.view(), la::F64Block(nj.basis).view(),
+                                la::Trans::No, la::Trans::Yes);
       la::copy(lower.view(), a.block(ni.begin, nj.begin, ni.block_size(), nj.block_size()));
       Matrix upper = la::transpose(lower.view());
       la::copy(upper.view(), a.block(nj.begin, ni.begin, nj.block_size(), ni.block_size()));
@@ -94,6 +95,19 @@ std::int64_t BLR2Matrix::memory_bytes() const {
   for (const auto& nd : nodes_) total += nd.basis.bytes() + nd.diag.bytes();
   for (const auto& s : couplings_) total += s.bytes();
   return total;
+}
+
+std::int64_t BLR2Matrix::lowrank_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& nd : nodes_) total += nd.basis.bytes();
+  for (const auto& s : couplings_) total += s.bytes();
+  return total;
+}
+
+void BLR2Matrix::demote_lowrank() {
+  for (auto& nd : nodes_) nd.basis.demote_storage();
+  for (auto& s : couplings_) s.demote_storage();
+  mixed_ = true;
 }
 
 BLR2Matrix build_blr2(const BlockAccessor& acc, const HSSOptions& opts) {
@@ -150,6 +164,9 @@ BLR2Matrix build_blr2(const BlockAccessor& acc, const HSSOptions& opts) {
       m.coupling(i, j) = la::matmul(tmp.view(), nj.basis.view());
     }
   }
+  // Construction is pure FP64; demotion is a single pass over the finished
+  // matrix (same policy as the HSS builders).
+  if (opts.precision == PrecisionMode::MixedFP32) m.demote_lowrank();
   return m;
 }
 

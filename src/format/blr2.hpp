@@ -57,8 +57,19 @@ class BLR2Matrix {
   /// Total compressed storage in bytes.
   [[nodiscard]] std::int64_t memory_bytes() const;
 
+  /// Bytes held by the low-rank data alone (bases + couplings).
+  [[nodiscard]] std::int64_t lowrank_bytes() const;
+
+  /// Demote every basis and coupling to FP32 storage (diagonals stay FP64);
+  /// see HSSMatrix::demote_lowrank.
+  void demote_lowrank();
+
+  /// True when demote_lowrank() has run.
+  [[nodiscard]] bool mixed() const { return mixed_; }
+
  private:
   index_t n_ = 0;
+  bool mixed_ = false;
   std::vector<Node> nodes_;
   std::vector<Matrix> couplings_;  // packed strict lower triangle
 };

@@ -69,9 +69,11 @@ void StrongBLR2Matrix::matvec(const std::vector<double>& x,
   for (index_t i = 0; i < p; ++i) {
     const Node& nd = node(i);
     xc[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(nd.rank), 0.0);
+    // F64Block promotes FP32-demoted far-field data on the fly (free for
+    // FP64 storage); diagonals and near-field blocks are always FP64.
     if (nd.rank > 0)
-      la::gemv(1.0, nd.basis.view(), la::Trans::Yes, x.data() + nd.begin, 0.0,
-               xc[static_cast<std::size_t>(i)].data());
+      la::gemv(1.0, la::F64Block(nd.basis).view(), la::Trans::Yes,
+               x.data() + nd.begin, 0.0, xc[static_cast<std::size_t>(i)].data());
   }
 
   for (index_t i = 0; i < p; ++i) {
@@ -85,7 +87,7 @@ void StrongBLR2Matrix::matvec(const std::vector<double>& x,
       if (admissible(i, j)) {
         const Matrix& s = i > j ? coupling(i, j) : coupling(j, i);
         if (s.empty()) continue;
-        la::gemv(1.0, s.view(), i > j ? la::Trans::No : la::Trans::Yes,
+        la::gemv(1.0, la::F64Block(s).view(), i > j ? la::Trans::No : la::Trans::Yes,
                  xc[static_cast<std::size_t>(j)].data(), 1.0, yc.data());
       } else {
         const Matrix& d = i > j ? near_block(i, j) : near_block(j, i);
@@ -95,8 +97,8 @@ void StrongBLR2Matrix::matvec(const std::vector<double>& x,
       }
     }
     if (ni.rank > 0)
-      la::gemv(1.0, ni.basis.view(), la::Trans::No, yc.data(), 1.0,
-               y.data() + ni.begin);
+      la::gemv(1.0, la::F64Block(ni.basis).view(), la::Trans::No, yc.data(),
+               1.0, y.data() + ni.begin);
   }
 }
 
@@ -111,8 +113,10 @@ Matrix StrongBLR2Matrix::dense() const {
       const Node& nj = node(j);
       Matrix lower;
       if (admissible(i, j)) {
-        Matrix us = la::matmul(ni.basis.view(), coupling(i, j).view());
-        lower = la::matmul(us.view(), nj.basis.view(), la::Trans::No, la::Trans::Yes);
+        Matrix us = la::matmul(la::F64Block(ni.basis).view(),
+                               la::F64Block(coupling(i, j)).view());
+        lower = la::matmul(us.view(), la::F64Block(nj.basis).view(),
+                           la::Trans::No, la::Trans::Yes);
       } else {
         lower = Matrix::from_view(near_block(i, j).view());
       }
@@ -132,6 +136,19 @@ std::int64_t StrongBLR2Matrix::memory_bytes() const {
   for (const auto& s : couplings_) total += s.bytes();
   for (const auto& d : near_) total += d.bytes();
   return total;
+}
+
+std::int64_t StrongBLR2Matrix::lowrank_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& nd : nodes_) total += nd.basis.bytes();
+  for (const auto& s : couplings_) total += s.bytes();
+  return total;
+}
+
+void StrongBLR2Matrix::demote_lowrank() {
+  for (auto& nd : nodes_) nd.basis.demote_storage();
+  for (auto& s : couplings_) s.demote_storage();
+  mixed_ = true;
 }
 
 double StrongBLR2Matrix::admissible_fraction() const {
@@ -201,6 +218,7 @@ StrongBLR2Matrix build_strong_blr2(const BlockAccessor& acc,
       }
     }
   }
+  if (opts.precision == PrecisionMode::MixedFP32) m.demote_lowrank();
   return m;
 }
 

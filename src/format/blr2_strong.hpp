@@ -78,10 +78,19 @@ class StrongBLR2Matrix {
   /// Fraction of off-diagonal blocks that are admissible (compressed).
   [[nodiscard]] double admissible_fraction() const;
 
+  /// Bytes held by the compressed far-field alone (bases + couplings).
+  [[nodiscard]] std::int64_t lowrank_bytes() const;
+  /// Demote bases and couplings to FP32 storage (diagonals and dense
+  /// near-field blocks stay FP64); see HSSMatrix::demote_lowrank.
+  void demote_lowrank();
+  /// True when demote_lowrank() has run.
+  [[nodiscard]] bool mixed() const { return mixed_; }
+
  private:
   [[nodiscard]] std::size_t pair_index(index_t i, index_t j) const;
 
   index_t n_ = 0;
+  bool mixed_ = false;
   std::vector<Node> nodes_;
   std::vector<bool> admissible_;   // packed strict lower triangle
   std::vector<Matrix> couplings_;  // same packing (empty when inadmissible)

@@ -123,7 +123,11 @@ HSSMatrix build_hss(const BlockAccessor& acc, const HSSOptions& opts) {
   HSSBuildDag dag = emit_hss_build_dag(acc, opts, graph);
   for (const auto& t : graph.tasks())
     if (t.work) t.work();
-  return extract_built_hss(dag);
+  HSSMatrix h = extract_built_hss(dag);
+  // Construction is pure FP64 regardless of precision mode (executor
+  // bit-identity); the one-shot demotion happens on the settled matrix.
+  if (opts.precision == PrecisionMode::MixedFP32) h.demote_lowrank();
+  return h;
 }
 
 }  // namespace hatrix::fmt

@@ -553,7 +553,11 @@ HSSMatrix build_hss_parallel(const BlockAccessor& acc, const HSSOptions& opts,
   rt::ThreadPoolExecutor ex(workers);
   ex.run(graph);
   if (report != nullptr) *report = build_report(dag);
-  return extract_built_hss(dag);
+  HSSMatrix h = extract_built_hss(dag);
+  // Demote after extraction, exactly as the sequential builder does, so both
+  // paths produce bit-identical (demoted) matrices.
+  if (opts.precision == PrecisionMode::MixedFP32) h.demote_lowrank();
+  return h;
 }
 
 }  // namespace hatrix::fmt

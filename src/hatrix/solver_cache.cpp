@@ -46,6 +46,7 @@ std::size_t SolverKeyHash::operator()(const SolverKey& k) const {
   h = mix(h, bits(k.guard_tol));
   h = mix(h, static_cast<std::uint64_t>(k.sample_cols));
   h = mix(h, k.seed);
+  h = mix(h, std::hash<std::string>{}(k.precision));
   return static_cast<std::size_t>(h);
 }
 
@@ -61,7 +62,8 @@ SolverKey make_solver_key(const std::string& kernel_id,
                    .tol = opts.tol,
                    .guard_tol = opts.guard_tol,
                    .sample_cols = opts.sample_cols,
-                   .seed = opts.seed};
+                   .seed = opts.seed,
+                   .precision = fmt::precision_name(opts.precision)};
 }
 
 SolverCache::SolverCache(std::size_t capacity) : capacity_(capacity) {

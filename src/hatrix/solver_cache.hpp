@@ -61,6 +61,11 @@ struct SolverKey {
   double guard_tol = 0.0;
   la::index_t sample_cols = 0;
   std::uint64_t seed = 0;
+  /// Storage precision of the built matrix's low-rank data
+  /// (fmt::precision_name): "fp64" or "mixed-fp32". Factorizations of the
+  /// same operator at different storage precisions differ bit-for-bit, so
+  /// they must occupy distinct cache entries.
+  std::string precision = "fp64";
 
   bool operator==(const SolverKey&) const = default;
 };

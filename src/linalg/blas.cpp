@@ -1,233 +1,257 @@
+/// \file blas.cpp
+/// \brief Public kernel entry points: shape checks, flop accounting, backend
+/// dispatch. The arithmetic lives in blas_detail.hpp (naive + blocked) and
+/// blas_vendor.cpp (optional external BLAS).
+
 #include "linalg/blas.hpp"
 
+#include <cstdlib>
+
 #include "common/flops.hpp"
+#include "linalg/blas_detail.hpp"
+#include "linalg/blas_vendor.hpp"
 
 namespace hatrix::la {
 
 namespace {
 
-// Dimension of op(A): rows(op(A)) and cols(op(A)).
-index_t op_rows(ConstMatrixView a, Trans t) { return t == Trans::No ? a.rows : a.cols; }
-index_t op_cols(ConstMatrixView a, Trans t) { return t == Trans::No ? a.cols : a.rows; }
+Backend initial_backend() {
+  if (const char* env = std::getenv("HATRIX_LA_BACKEND")) {
+    const Backend b = backend_from_name(env);
+    if (b == Backend::Vendor && !vendor_available())
+      throw Error("HATRIX_LA_BACKEND=vendor but built without HATRIX_WITH_BLAS");
+    return b;
+  }
+  return Backend::Blocked;
+}
+
+std::atomic<Backend>& backend_state() {
+  static std::atomic<Backend> state{initial_backend()};
+  return state;
+}
+
+}  // namespace
+
+Backend backend() noexcept { return backend_state().load(std::memory_order_relaxed); }
+
+void set_backend(Backend b) {
+  if (b == Backend::Vendor && !vendor_available())
+    throw Error("vendor BLAS backend requested but built without HATRIX_WITH_BLAS");
+  backend_state().store(b, std::memory_order_relaxed);
+}
+
+bool vendor_available() noexcept {
+#if defined(HATRIX_WITH_BLAS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::Naive:
+      return "naive";
+    case Backend::Blocked:
+      return "blocked";
+    case Backend::Vendor:
+      return "vendor";
+  }
+  return "unknown";
+}
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "naive") return Backend::Naive;
+  if (name == "blocked") return Backend::Blocked;
+  if (name == "vendor") return Backend::Vendor;
+  throw Error("unknown linalg backend '" + name +
+              "' (expected naive | blocked | vendor)");
+}
+
+namespace {
+
+template <class T>
+void check_gemm(ConstMatrixViewT<T> a, Trans ta, ConstMatrixViewT<T> b, Trans tb,
+                MatrixViewT<T> c) {
+  HATRIX_CHECK(detail::op_rows(b, tb) == detail::op_cols(a, ta),
+               "gemm inner dimension mismatch");
+  HATRIX_CHECK(c.rows == detail::op_rows(a, ta) && c.cols == detail::op_cols(b, tb),
+               "gemm output shape mismatch");
+}
+
+template <class T>
+void check_syrk(ConstMatrixViewT<T> a, Trans trans, MatrixViewT<T> c) {
+  HATRIX_CHECK(c.rows == detail::op_rows(a, trans) && c.cols == c.rows,
+               "syrk output shape mismatch");
+}
+
+template <class T>
+void check_tr(Side side, ConstMatrixViewT<T> t, MatrixViewT<T> b, const char* who) {
+  HATRIX_CHECK(t.rows == t.cols, std::string(who) + " triangular matrix must be square");
+  if (side == Side::Left) {
+    HATRIX_CHECK(b.rows == t.rows, std::string(who) + " dimension mismatch");
+  } else {
+    HATRIX_CHECK(b.cols == t.rows, std::string(who) + " dimension mismatch");
+  }
+}
+
+template <class T>
+void gemm_dispatch(T alpha, ConstMatrixViewT<T> a, Trans ta, ConstMatrixViewT<T> b,
+                   Trans tb, T beta, MatrixViewT<T> c) {
+  switch (backend()) {
+    case Backend::Naive:
+      detail::gemm_naive<T>(alpha, a, ta, b, tb, beta, c);
+      return;
+    case Backend::Vendor:
+#if defined(HATRIX_WITH_BLAS)
+      vendor::gemm(alpha, a, ta, b, tb, beta, c);
+      return;
+#else
+      [[fallthrough]];
+#endif
+    case Backend::Blocked:
+      detail::gemm_blocked<T>(alpha, a, ta, b, tb, beta, c);
+      return;
+  }
+}
+
+template <class T>
+void syrk_dispatch(T alpha, ConstMatrixViewT<T> a, Trans trans, T beta,
+                   MatrixViewT<T> c) {
+  switch (backend()) {
+    case Backend::Naive:
+      detail::syrk_naive<T>(alpha, a, trans, beta, c);
+      return;
+    case Backend::Vendor:
+#if defined(HATRIX_WITH_BLAS)
+      vendor::syrk(alpha, a, trans, beta, c);
+      return;
+#else
+      [[fallthrough]];
+#endif
+    case Backend::Blocked:
+      detail::syrk_blocked<T>(alpha, a, trans, beta, c);
+      return;
+  }
+}
+
+template <class T>
+void trsm_dispatch(Side side, UpLo uplo, Trans trans, Diag diag, T alpha,
+                   ConstMatrixViewT<T> t, MatrixViewT<T> b) {
+  switch (backend()) {
+    case Backend::Naive:
+      detail::trsm_naive<T>(side, uplo, trans, diag, alpha, t, b);
+      return;
+    case Backend::Vendor:
+#if defined(HATRIX_WITH_BLAS)
+      vendor::trsm(side, uplo, trans, diag, alpha, t, b);
+      return;
+#else
+      [[fallthrough]];
+#endif
+    case Backend::Blocked:
+      detail::trsm_blocked<T>(side, uplo, trans, diag, alpha, t, b);
+      return;
+  }
+}
+
+// Flop accounting happens here, at the public entry points, and only when
+// the call performs arithmetic: no-op calls (alpha == 0 or an empty
+// dimension) previously inflated the counters the benches and the distsim
+// cost model consume.
+template <class T>
+void gemm_entry(T alpha, ConstMatrixViewT<T> a, Trans ta, ConstMatrixViewT<T> b,
+                Trans tb, T beta, MatrixViewT<T> c) {
+  check_gemm(a, ta, b, tb, c);
+  const index_t m = c.rows, n = c.cols, k = detail::op_cols(a, ta);
+  if (alpha != T(0) && m != 0 && n != 0 && k != 0)
+    flops::add(static_cast<std::uint64_t>(2) * m * n * k);
+  gemm_dispatch<T>(alpha, a, ta, b, tb, beta, c);
+}
+
+template <class T>
+void syrk_entry(T alpha, ConstMatrixViewT<T> a, Trans trans, T beta,
+                MatrixViewT<T> c) {
+  check_syrk(a, trans, c);
+  const index_t n = c.rows, k = detail::op_cols(a, trans);
+  if (alpha != T(0) && n != 0 && k != 0)
+    flops::add(static_cast<std::uint64_t>(n) * n * k);  // symmetric half counted
+  syrk_dispatch<T>(alpha, a, trans, beta, c);
+}
+
+template <class T>
+void trsm_entry(Side side, UpLo uplo, Trans trans, Diag diag, T alpha,
+                ConstMatrixViewT<T> t, MatrixViewT<T> b) {
+  check_tr(side, t, b, "trsm");
+  const index_t n = t.rows;
+  const index_t rhs = side == Side::Left ? b.cols : b.rows;
+  if (alpha != T(0) && n != 0 && rhs != 0)
+    flops::add(static_cast<std::uint64_t>(n) * n * rhs);
+  trsm_dispatch<T>(side, uplo, trans, diag, alpha, t, b);
+}
+
+template <class T>
+void trmm_entry(Side side, UpLo uplo, Trans trans, Diag diag, T alpha,
+                ConstMatrixViewT<T> t, MatrixViewT<T> b) {
+  check_tr(side, t, b, "trmm");
+  const index_t n = t.rows;
+  const index_t rhs = side == Side::Left ? b.cols : b.rows;
+  if (alpha != T(0) && n != 0 && rhs != 0)
+    flops::add(static_cast<std::uint64_t>(n) * n * rhs);
+  // trmm is off the hot path: every backend uses the reference loops.
+  detail::trmm_naive<T>(side, uplo, trans, diag, alpha, t, b);
+}
 
 }  // namespace
 
 void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
           double beta, MatrixView c) {
-  const index_t m = op_rows(a, ta), k = op_cols(a, ta);
-  const index_t n = op_cols(b, tb);
-  HATRIX_CHECK(op_rows(b, tb) == k, "gemm inner dimension mismatch");
-  HATRIX_CHECK(c.rows == m && c.cols == n, "gemm output shape mismatch");
-  flops::add(static_cast<std::uint64_t>(2) * m * n * k);
-
-  if (beta == 0.0) {
-    fill(c, 0.0);
-  } else if (beta != 1.0) {
-    scale(c, beta);
-  }
-  if (alpha == 0.0 || k == 0) return;
-
-  // Column-major friendly loop orders; the A-no-trans cases stream down
-  // columns of A and C.
-  if (ta == Trans::No && tb == Trans::No) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t l = 0; l < k; ++l) {
-        const double blj = alpha * b(l, j);
-        if (blj == 0.0) continue;
-        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
-      }
-  } else if (ta == Trans::No && tb == Trans::Yes) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t l = 0; l < k; ++l) {
-        const double blj = alpha * b(j, l);
-        if (blj == 0.0) continue;
-        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
-      }
-  } else if (ta == Trans::Yes && tb == Trans::No) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i) {
-        double s = 0.0;
-        for (index_t l = 0; l < k; ++l) s += a(l, i) * b(l, j);
-        c(i, j) += alpha * s;
-      }
-  } else {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i) {
-        double s = 0.0;
-        for (index_t l = 0; l < k; ++l) s += a(l, i) * b(j, l);
-        c(i, j) += alpha * s;
-      }
-  }
+  gemm_entry<double>(alpha, a, ta, b, tb, beta, c);
+}
+void gemm(float alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b, Trans tb,
+          float beta, MatrixViewF c) {
+  gemm_entry<float>(alpha, a, ta, b, tb, beta, c);
 }
 
 Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta, Trans tb) {
-  Matrix c(op_rows(a, ta), op_cols(b, tb));
+  Matrix c(detail::op_rows(a, ta), detail::op_cols(b, tb));
   gemm(1.0, a, ta, b, tb, 0.0, c.view());
   return c;
 }
 
 void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c) {
-  const index_t n = op_rows(a, trans), k = op_cols(a, trans);
-  HATRIX_CHECK(c.rows == n && c.cols == n, "syrk output shape mismatch");
-  flops::add(static_cast<std::uint64_t>(n) * n * k);  // symmetric half counted
-
-  if (beta == 0.0) {
-    fill(c, 0.0);
-  } else if (beta != 1.0) {
-    scale(c, beta);
-  }
-  // Compute the lower triangle, then mirror.
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = j; i < n; ++i) {
-      double s = 0.0;
-      if (trans == Trans::No) {
-        for (index_t l = 0; l < k; ++l) s += a(i, l) * a(j, l);
-      } else {
-        for (index_t l = 0; l < k; ++l) s += a(l, i) * a(l, j);
-      }
-      c(i, j) += alpha * s;
-    }
-  }
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = j + 1; i < n; ++i) c(j, i) = c(i, j);
+  syrk_entry<double>(alpha, a, trans, beta, c);
+}
+void syrk(float alpha, ConstMatrixViewF a, Trans trans, float beta, MatrixViewF c) {
+  syrk_entry<float>(alpha, a, trans, beta, c);
 }
 
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView t, MatrixView b) {
-  HATRIX_CHECK(t.rows == t.cols, "trsm triangular matrix must be square");
-  const index_t n = t.rows;
-  if (side == Side::Left) {
-    HATRIX_CHECK(b.rows == n, "trsm dimension mismatch");
-  } else {
-    HATRIX_CHECK(b.cols == n, "trsm dimension mismatch");
-  }
-  flops::add(static_cast<std::uint64_t>(n) * n *
-             (side == Side::Left ? b.cols : b.rows));
-  if (alpha != 1.0) scale(b, alpha);
-
-  // Effective orientation: solving with op(T). Lower-no-trans and
-  // upper-trans both resolve forward; the other two resolve backward.
-  const bool lower = (uplo == UpLo::Lower);
-  const bool forward = (lower == (trans == Trans::No));
-  const bool unit = (diag == Diag::Unit);
-
-  auto tval = [&](index_t i, index_t j) {
-    return trans == Trans::No ? t(i, j) : t(j, i);
-  };
-
-  if (side == Side::Left) {
-    // Solve op(T) X = B, column by column of B.
-    for (index_t col = 0; col < b.cols; ++col) {
-      if (forward) {
-        for (index_t i = 0; i < n; ++i) {
-          double s = b(i, col);
-          for (index_t j = 0; j < i; ++j) s -= tval(i, j) * b(j, col);
-          b(i, col) = unit ? s : s / tval(i, i);
-        }
-      } else {
-        for (index_t i = n - 1; i >= 0; --i) {
-          double s = b(i, col);
-          for (index_t j = i + 1; j < n; ++j) s -= tval(i, j) * b(j, col);
-          b(i, col) = unit ? s : s / tval(i, i);
-        }
-      }
-    }
-  } else {
-    // Solve X op(T) = B, row by row of B: X(r,:) uses previously solved cols.
-    for (index_t row = 0; row < b.rows; ++row) {
-      if (forward) {
-        // op(T) effectively lower => X columns resolve from last to first:
-        // X(:,j) = (B(:,j) - sum_{l>j} X(:,l) op(T)(l,j)) / op(T)(j,j)
-        for (index_t j = n - 1; j >= 0; --j) {
-          double s = b(row, j);
-          for (index_t l = j + 1; l < n; ++l) s -= b(row, l) * tval(l, j);
-          b(row, j) = unit ? s : s / tval(j, j);
-        }
-      } else {
-        for (index_t j = 0; j < n; ++j) {
-          double s = b(row, j);
-          for (index_t l = 0; l < j; ++l) s -= b(row, l) * tval(l, j);
-          b(row, j) = unit ? s : s / tval(j, j);
-        }
-      }
-    }
-  }
+  trsm_entry<double>(side, uplo, trans, diag, alpha, t, b);
+}
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF t, MatrixViewF b) {
+  trsm_entry<float>(side, uplo, trans, diag, alpha, t, b);
 }
 
 void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView t, MatrixView b) {
-  HATRIX_CHECK(t.rows == t.cols, "trmm triangular matrix must be square");
-  const index_t n = t.rows;
-  if (side == Side::Left) {
-    HATRIX_CHECK(b.rows == n, "trmm dimension mismatch");
-  } else {
-    HATRIX_CHECK(b.cols == n, "trmm dimension mismatch");
-  }
-  flops::add(static_cast<std::uint64_t>(n) * n *
-             (side == Side::Left ? b.cols : b.rows));
-
-  const bool unit = (diag == Diag::Unit);
-  auto tval = [&](index_t i, index_t j) {
-    double v = trans == Trans::No ? t(i, j) : t(j, i);
-    return v;
-  };
-  // op(T) is lower iff (uplo==Lower) == (trans==No).
-  const bool op_lower = ((uplo == UpLo::Lower) == (trans == Trans::No));
-
-  if (side == Side::Left) {
-    for (index_t col = 0; col < b.cols; ++col) {
-      if (op_lower) {
-        for (index_t i = n - 1; i >= 0; --i) {
-          double s = unit ? b(i, col) : tval(i, i) * b(i, col);
-          for (index_t j = 0; j < i; ++j) s += tval(i, j) * b(j, col);
-          b(i, col) = alpha * s;
-        }
-      } else {
-        for (index_t i = 0; i < n; ++i) {
-          double s = unit ? b(i, col) : tval(i, i) * b(i, col);
-          for (index_t j = i + 1; j < n; ++j) s += tval(i, j) * b(j, col);
-          b(i, col) = alpha * s;
-        }
-      }
-    }
-  } else {
-    for (index_t row = 0; row < b.rows; ++row) {
-      if (op_lower) {
-        // B := B * op(T); column j of result uses cols l >= j of B.
-        for (index_t j = 0; j < n; ++j) {
-          double s = unit ? b(row, j) : b(row, j) * tval(j, j);
-          for (index_t l = j + 1; l < n; ++l) s += b(row, l) * tval(l, j);
-          b(row, j) = alpha * s;
-        }
-      } else {
-        for (index_t j = n - 1; j >= 0; --j) {
-          double s = unit ? b(row, j) : b(row, j) * tval(j, j);
-          for (index_t l = 0; l < j; ++l) s += b(row, l) * tval(l, j);
-          b(row, j) = alpha * s;
-        }
-      }
-    }
-  }
+  trmm_entry<double>(side, uplo, trans, diag, alpha, t, b);
+}
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF t, MatrixViewF b) {
+  trmm_entry<float>(side, uplo, trans, diag, alpha, t, b);
 }
 
 void gemv(double alpha, ConstMatrixView a, Trans ta, const double* x, double beta,
           double* y) {
-  const index_t m = op_rows(a, ta), n = op_cols(a, ta);
-  flops::add(static_cast<std::uint64_t>(2) * m * n);
-  for (index_t i = 0; i < m; ++i) y[i] *= beta;
-  if (ta == Trans::No) {
-    for (index_t j = 0; j < n; ++j) {
-      const double xj = alpha * x[j];
-      if (xj == 0.0) continue;
-      for (index_t i = 0; i < m; ++i) y[i] += a(i, j) * xj;
-    }
-  } else {
-    for (index_t i = 0; i < m; ++i) {
-      double s = 0.0;
-      for (index_t j = 0; j < n; ++j) s += a(j, i) * x[j];
-      y[i] += alpha * s;
-    }
-  }
+  // One-column gemm so vector and panel calls stay bit-identical per column
+  // (the solve layer's determinism contract).
+  const index_t m = detail::op_rows(a, ta), n = detail::op_cols(a, ta);
+  const ConstMatrixView xv{x, n, 1, n > 0 ? n : 1};
+  const MatrixView yv{y, m, 1, m > 0 ? m : 1};
+  gemm(alpha, a, ta, xv, Trans::No, beta, yv);
 }
 
 void add_scaled(MatrixView y, double alpha, ConstMatrixView x) {
@@ -237,10 +261,8 @@ void add_scaled(MatrixView y, double alpha, ConstMatrixView x) {
     for (index_t i = 0; i < y.rows; ++i) y(i, j) += alpha * x(i, j);
 }
 
-void scale(MatrixView a, double alpha) {
-  for (index_t j = 0; j < a.cols; ++j)
-    for (index_t i = 0; i < a.rows; ++i) a(i, j) *= alpha;
-}
+void scale(MatrixView a, double alpha) { detail::scale_impl<double>(a, alpha); }
+void scale(MatrixViewF a, float alpha) { detail::scale_impl<float>(a, alpha); }
 
 double dot(ConstMatrixView a, ConstMatrixView b) {
   HATRIX_CHECK(a.rows == b.rows && a.cols == b.cols, "dot shape mismatch");
@@ -249,5 +271,93 @@ double dot(ConstMatrixView a, ConstMatrixView b) {
     for (index_t i = 0; i < a.rows; ++i) s += a(i, j) * b(i, j);
   return s;
 }
+
+// --- Internal no-count dispatchers (composite kernels count at the top). ---
+
+namespace detail {
+
+void gemm_nc(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+             Trans tb, double beta, MatrixView c) {
+  gemm_dispatch<double>(alpha, a, ta, b, tb, beta, c);
+}
+void gemm_nc(float alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b,
+             Trans tb, float beta, MatrixViewF c) {
+  gemm_dispatch<float>(alpha, a, ta, b, tb, beta, c);
+}
+void syrk_nc(double alpha, ConstMatrixView a, Trans trans, double beta,
+             MatrixView c) {
+  syrk_dispatch<double>(alpha, a, trans, beta, c);
+}
+void syrk_nc(float alpha, ConstMatrixViewF a, Trans trans, float beta,
+             MatrixViewF c) {
+  syrk_dispatch<float>(alpha, a, trans, beta, c);
+}
+void trsm_nc(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+             ConstMatrixView t, MatrixView b) {
+  trsm_dispatch<double>(side, uplo, trans, diag, alpha, t, b);
+}
+void trsm_nc(Side side, UpLo uplo, Trans trans, Diag diag, float alpha,
+             ConstMatrixViewF t, MatrixViewF b) {
+  trsm_dispatch<float>(side, uplo, trans, diag, alpha, t, b);
+}
+
+}  // namespace detail
+
+// --- The retained naive reference (conformance oracle). ---
+
+namespace ref {
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+          double beta, MatrixView c) {
+  check_gemm(a, ta, b, tb, c);
+  detail::gemm_naive<double>(alpha, a, ta, b, tb, beta, c);
+}
+void gemm(float alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b, Trans tb,
+          float beta, MatrixViewF c) {
+  check_gemm(a, ta, b, tb, c);
+  detail::gemm_naive<float>(alpha, a, ta, b, tb, beta, c);
+}
+void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c) {
+  check_syrk(a, trans, c);
+  detail::syrk_naive<double>(alpha, a, trans, beta, c);
+}
+void syrk(float alpha, ConstMatrixViewF a, Trans trans, float beta, MatrixViewF c) {
+  check_syrk(a, trans, c);
+  detail::syrk_naive<float>(alpha, a, trans, beta, c);
+}
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  check_tr(side, t, b, "trsm");
+  detail::trsm_naive<double>(side, uplo, trans, diag, alpha, t, b);
+}
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF t, MatrixViewF b) {
+  check_tr(side, t, b, "trsm");
+  detail::trsm_naive<float>(side, uplo, trans, diag, alpha, t, b);
+}
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  check_tr(side, t, b, "trmm");
+  detail::trmm_naive<double>(side, uplo, trans, diag, alpha, t, b);
+}
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, float alpha,
+          ConstMatrixViewF t, MatrixViewF b) {
+  check_tr(side, t, b, "trmm");
+  detail::trmm_naive<float>(side, uplo, trans, diag, alpha, t, b);
+}
+void potrf(MatrixView a) {
+  HATRIX_CHECK(a.rows == a.cols, "potrf requires a square matrix");
+  detail::potrf_unblocked<double>(a);
+  for (index_t j = 1; j < a.cols; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = 0.0;
+}
+void potrf(MatrixViewF a) {
+  HATRIX_CHECK(a.rows == a.cols, "potrf requires a square matrix");
+  detail::potrf_unblocked<float>(a);
+  for (index_t j = 1; j < a.cols; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = 0.0F;
+}
+
+}  // namespace ref
 
 }  // namespace hatrix::la

@@ -8,10 +8,12 @@
 namespace hatrix::la {
 
 /// In-place lower Cholesky A = L·Lᵀ. Only the lower triangle of `a` is
-/// referenced and overwritten with L (the strict upper triangle is left
-/// untouched). Throws hatrix::Error if a non-positive pivot is met, i.e. the
-/// matrix is not positive definite.
+/// referenced; on return the matrix holds exactly L (the strict upper
+/// triangle is zeroed). Throws hatrix::Error if a non-positive pivot is met,
+/// i.e. the matrix is not positive definite. Blocked right-looking algorithm
+/// on top of the dispatched trsm/syrk/gemm kernels, in both precisions.
 void potrf(MatrixView a);
+void potrf(MatrixViewF a);
 
 /// Solve A·X = B given the lower Cholesky factor L from potrf (B is
 /// overwritten with the solution).

@@ -53,10 +53,71 @@ Matrix Matrix::from_view(ConstMatrixView v) {
   return a;
 }
 
+void Matrix::demote_storage() {
+  if (!data32_.empty() || data_.empty()) return;
+  data32_.resize(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data32_[i] = static_cast<float>(data_[i]);
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+void Matrix::promote_storage() {
+  if (data32_.empty()) return;
+  data_.resize(data32_.size());
+  for (std::size_t i = 0; i < data32_.size(); ++i)
+    data_[i] = static_cast<double>(data32_[i]);
+  data32_.clear();
+  data32_.shrink_to_fit();
+}
+
+Matrix Matrix::f64_copy() const {
+  Matrix out(rows_, cols_);
+  if (is_f32()) {
+    for (std::size_t i = 0; i < data32_.size(); ++i)
+      out.data_[i] = static_cast<double>(data32_[i]);
+  } else {
+    out.data_ = data_;
+  }
+  return out;
+}
+
 void copy(ConstMatrixView src, MatrixView dst) {
   HATRIX_CHECK(src.rows == dst.rows && src.cols == dst.cols, "copy shape mismatch");
   for (index_t j = 0; j < src.cols; ++j)
     for (index_t i = 0; i < src.rows; ++i) dst(i, j) = src(i, j);
+}
+
+void copy(ConstMatrixViewF src, MatrixViewF dst) {
+  HATRIX_CHECK(src.rows == dst.rows && src.cols == dst.cols, "copy shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j)
+    for (index_t i = 0; i < src.rows; ++i) dst(i, j) = src(i, j);
+}
+
+void widen(ConstMatrixViewF src, MatrixView dst) {
+  HATRIX_CHECK(src.rows == dst.rows && src.cols == dst.cols, "widen shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j)
+    for (index_t i = 0; i < src.rows; ++i)
+      dst(i, j) = static_cast<double>(src(i, j));
+}
+
+void narrow(ConstMatrixView src, MatrixViewF dst) {
+  HATRIX_CHECK(src.rows == dst.rows && src.cols == dst.cols, "narrow shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j)
+    for (index_t i = 0; i < src.rows; ++i)
+      dst(i, j) = static_cast<float>(src(i, j));
+}
+
+MatrixF to_f32(ConstMatrixView v) {
+  MatrixF out(v.rows, v.cols);
+  narrow(v, out.view());
+  return out;
+}
+
+Matrix to_f64(ConstMatrixViewF v) {
+  Matrix out(v.rows, v.cols);
+  widen(v, out.view());
+  return out;
 }
 
 Matrix transpose(ConstMatrixView a) {
@@ -117,6 +178,11 @@ Matrix gather_cols(ConstMatrixView src, const std::vector<index_t>& cols) {
 }
 
 void fill(MatrixView a, double value) {
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) a(i, j) = value;
+}
+
+void fill(MatrixViewF a, float value) {
   for (index_t j = 0; j < a.cols; ++j)
     for (index_t i = 0; i < a.rows; ++i) a(i, j) = value;
 }

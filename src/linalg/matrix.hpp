@@ -1,11 +1,20 @@
 #pragma once
 /// \file matrix.hpp
-/// \brief Dense column-major matrix type and lightweight views.
+/// \brief Dense column-major matrix types and lightweight views.
 ///
-/// The library is self-contained (no external BLAS/LAPACK); every dense
-/// kernel operates on these types. `Matrix` owns its storage; `MatrixView` /
-/// `ConstMatrixView` reference sub-blocks with a leading dimension, which is
-/// what blocked factorization algorithms need.
+/// The library is self-contained (no external BLAS/LAPACK required; an
+/// optional vendor backend can be compiled in, see blas.hpp). Every dense
+/// kernel operates on these types. `Matrix` owns its storage; the view
+/// structs reference sub-blocks with a leading dimension, which is what
+/// blocked factorization algorithms need. Views and the kernel layer are
+/// templated on the scalar type: `double` everywhere by default, `float`
+/// for the mixed-precision low-rank storage path and the FP32 kernels.
+///
+/// Mixed-precision storage: a `Matrix` (FP64 interface) can *demote* its
+/// buffer to FP32 (`demote_storage()`), halving its resident footprint.
+/// Demoted matrices cannot hand out FP64 views directly; readers promote
+/// through `F64Block`, which is free for FP64-stored matrices and
+/// materializes a short-lived FP64 copy for demoted ones.
 
 #include <atomic>
 #include <cstdint>
@@ -71,42 +80,95 @@ struct TrackingAllocator {
 
 }  // namespace detail
 
-/// Non-owning read-only view of a column-major block.
-struct ConstMatrixView {
-  const double* data = nullptr;
+/// Non-owning read-only view of a column-major block of `T`.
+template <class T>
+struct ConstMatrixViewT {
+  const T* data = nullptr;
   index_t rows = 0;
   index_t cols = 0;
   index_t ld = 0;  ///< leading dimension (stride between columns)
 
-  const double& operator()(index_t i, index_t j) const { return data[i + j * ld]; }
+  const T& operator()(index_t i, index_t j) const { return data[i + j * ld]; }
 
   /// Sub-block view [i0, i0+m) x [j0, j0+n).
-  [[nodiscard]] ConstMatrixView block(index_t i0, index_t j0, index_t m, index_t n) const {
+  [[nodiscard]] ConstMatrixViewT block(index_t i0, index_t j0, index_t m,
+                                       index_t n) const {
     HATRIX_CHECK(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
                  "block out of range");
     return {data + i0 + j0 * ld, m, n, ld};
   }
 };
 
-/// Non-owning mutable view of a column-major block.
-struct MatrixView {
-  double* data = nullptr;
+/// Non-owning mutable view of a column-major block of `T`.
+template <class T>
+struct MatrixViewT {
+  T* data = nullptr;
   index_t rows = 0;
   index_t cols = 0;
   index_t ld = 0;
 
-  double& operator()(index_t i, index_t j) const { return data[i + j * ld]; }
+  T& operator()(index_t i, index_t j) const { return data[i + j * ld]; }
 
-  operator ConstMatrixView() const { return {data, rows, cols, ld}; }
+  operator ConstMatrixViewT<T>() const { return {data, rows, cols, ld}; }
 
-  [[nodiscard]] MatrixView block(index_t i0, index_t j0, index_t m, index_t n) const {
+  [[nodiscard]] MatrixViewT block(index_t i0, index_t j0, index_t m,
+                                  index_t n) const {
     HATRIX_CHECK(i0 >= 0 && j0 >= 0 && i0 + m <= rows && j0 + n <= cols,
                  "block out of range");
     return {data + i0 + j0 * ld, m, n, ld};
   }
 };
 
-/// Owning dense column-major matrix.
+using ConstMatrixView = ConstMatrixViewT<double>;
+using MatrixView = MatrixViewT<double>;
+using ConstMatrixViewF = ConstMatrixViewT<float>;
+using MatrixViewF = MatrixViewT<float>;
+
+/// Owning dense column-major FP32 matrix. The storage sibling of `Matrix`
+/// for the FP32 kernel path (benchmarks, conformance tests); the format
+/// layers use `Matrix::demote_storage()` rather than this type so their
+/// interfaces stay FP64.
+class MatrixF {
+ public:
+  MatrixF() = default;
+  MatrixF(index_t r, index_t c)
+      : rows_(r), cols_(c), data_(static_cast<std::size_t>(r * c), 0.0F) {
+    HATRIX_CHECK(r >= 0 && c >= 0, "negative dimension");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  }
+
+  float& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const float& operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  [[nodiscard]] MatrixViewF view() { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] ConstMatrixViewF view() const {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<float, detail::TrackingAllocator<float>> data_;
+};
+
+/// Owning dense column-major matrix with an FP64 interface. Normally backed
+/// by an FP64 buffer; `demote_storage()` swaps the backing store to FP32
+/// (rounding every entry once), halving the resident footprint — the
+/// mixed-precision resting state for low-rank factors whose compression
+/// error already exceeds FP32 rounding.
 class Matrix {
  public:
   Matrix() = default;
@@ -119,18 +181,21 @@ class Matrix {
 
   Matrix(const Matrix&) = default;
   Matrix& operator=(const Matrix&) = default;
-  // The implicit moves would steal data_ but copy rows_/cols_, leaving the
-  // source with nonzero dimensions over a null buffer — view() on it would
-  // then hand out a writable null view (the release-hook poison path fills
-  // whatever view it is given). Reset the source to a genuine empty matrix.
+  // The implicit moves would steal the buffers but copy rows_/cols_, leaving
+  // the source with nonzero dimensions over a null buffer — view() on it
+  // would then hand out a writable null view (the release-hook poison path
+  // fills whatever view it is given). Reset the source to a genuine empty
+  // matrix.
   Matrix(Matrix&& other) noexcept
       : rows_(std::exchange(other.rows_, 0)),
         cols_(std::exchange(other.cols_, 0)),
-        data_(std::move(other.data_)) {}
+        data_(std::move(other.data_)),
+        data32_(std::move(other.data32_)) {}
   Matrix& operator=(Matrix&& other) noexcept {
     rows_ = std::exchange(other.rows_, 0);
     cols_ = std::exchange(other.cols_, 0);
     data_ = std::move(other.data_);
+    data32_ = std::move(other.data32_);
     return *this;
   }
   ~Matrix() = default;
@@ -147,9 +212,11 @@ class Matrix {
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
-  /// Storage footprint in bytes (used by the communication models).
+  /// Storage footprint in bytes of the *actual* backing store (FP32 when
+  /// demoted), used by the communication and memory models.
   [[nodiscard]] std::int64_t bytes() const {
-    return static_cast<std::int64_t>(data_.size() * sizeof(double));
+    return static_cast<std::int64_t>(data_.size() * sizeof(double) +
+                                     data32_.size() * sizeof(float));
   }
 
   double& operator()(index_t i, index_t j) { return data_[static_cast<std::size_t>(i + j * rows_)]; }
@@ -160,8 +227,14 @@ class Matrix {
   double* data() { return data_.data(); }
   [[nodiscard]] const double* data() const { return data_.data(); }
 
-  [[nodiscard]] MatrixView view() { return {data_.data(), rows_, cols_, rows_}; }
-  [[nodiscard]] ConstMatrixView view() const { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] MatrixView view() {
+    HATRIX_CHECK(data32_.empty(), "view() on FP32-demoted matrix; promote first");
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    HATRIX_CHECK(data32_.empty(), "view() on FP32-demoted matrix; promote first");
+    return {data_.data(), rows_, cols_, rows_};
+  }
   operator MatrixView() { return view(); }
   operator ConstMatrixView() const { return view(); }
 
@@ -172,14 +245,66 @@ class Matrix {
     return view().block(i0, j0, m, n);
   }
 
+  /// True when the backing store is FP32 (demoted).
+  [[nodiscard]] bool is_f32() const { return !data32_.empty(); }
+  /// FP32 view of a demoted matrix (the FP32 kernels consume this).
+  [[nodiscard]] ConstMatrixViewF f32_view() const {
+    HATRIX_CHECK(data_.empty(), "f32_view() on FP64-stored matrix");
+    return {data32_.data(), rows_, cols_, rows_};
+  }
+
+  /// Round every entry through FP32 and keep the FP32 buffer as the backing
+  /// store (the FP64 buffer is freed). No-op on empty or already-demoted
+  /// matrices. Deterministic: round-to-nearest per entry, no arithmetic.
+  void demote_storage();
+  /// Restore an FP64 backing store in place (exact widening). No-op unless
+  /// demoted.
+  void promote_storage();
+  /// FP64 copy of the contents regardless of storage precision.
+  [[nodiscard]] Matrix f64_copy() const;
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<double, detail::TrackingAllocator<double>> data_;
+  /// FP32 backing store when demoted; empty otherwise. At most one of
+  /// data_/data32_ is non-empty for a non-empty matrix.
+  std::vector<float, detail::TrackingAllocator<float>> data32_;
+};
+
+/// Read guard yielding an FP64 view of a possibly-demoted Matrix: a direct
+/// (zero-copy) view when the matrix is FP64-stored, a promoted temporary
+/// owned by the guard when it is FP32-stored. Usable inline —
+/// `f(F64Block(m).view())` — because the temporary lives to the end of the
+/// full expression.
+class F64Block {
+ public:
+  explicit F64Block(const Matrix& m) : src_(&m) {
+    if (m.is_f32()) tmp_ = m.f64_copy();
+  }
+  F64Block(const F64Block&) = delete;
+  F64Block& operator=(const F64Block&) = delete;
+
+  [[nodiscard]] ConstMatrixView view() const {
+    return src_->is_f32() ? tmp_.view() : src_->view();
+  }
+
+ private:
+  const Matrix* src_;
+  Matrix tmp_;
 };
 
 /// Deep copy helper (dst and src must have equal shapes).
 void copy(ConstMatrixView src, MatrixView dst);
+void copy(ConstMatrixViewF src, MatrixViewF dst);
+
+/// Precision converters between view element types (shape-checked).
+void widen(ConstMatrixViewF src, MatrixView dst);
+void narrow(ConstMatrixView src, MatrixViewF dst);
+/// FP32 deep copy of an FP64 view (entry-wise rounding).
+MatrixF to_f32(ConstMatrixView v);
+/// FP64 deep copy of an FP32 view (exact widening).
+Matrix to_f64(ConstMatrixViewF v);
 
 /// Return the transpose as a new matrix.
 Matrix transpose(ConstMatrixView a);
@@ -198,5 +323,6 @@ Matrix gather_cols(ConstMatrixView src, const std::vector<index_t>& cols);
 
 /// Set every entry of the view to `value`.
 void fill(MatrixView a, double value);
+void fill(MatrixViewF a, float value);
 
 }  // namespace hatrix::la

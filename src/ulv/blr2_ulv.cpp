@@ -24,10 +24,11 @@ BLR2ULV BLR2ULV::factorize(const fmt::BLR2Matrix& a) {
   out.skel_offset_.assign(static_cast<std::size_t>(p) + 1, 0);
 
   // Per-block diagonal product + partial factorization (lines 1-2 of Alg. 1).
+  // F64Block promotes FP32-demoted bases/couplings for the FP64 kernels.
   std::vector<Matrix> schur(static_cast<std::size_t>(p));
   for (index_t i = 0; i < p; ++i) {
     const auto& nd = a.node(i);
-    auto res = partial_factor(nd.diag.view(), nd.basis.view());
+    auto res = partial_factor(nd.diag.view(), la::F64Block(nd.basis).view());
     out.factors_[static_cast<std::size_t>(i)] = std::move(res.factor);
     schur[static_cast<std::size_t>(i)] = std::move(res.ss_schur);
     out.skel_offset_[static_cast<std::size_t>(i) + 1] =
@@ -47,9 +48,9 @@ BLR2ULV BLR2ULV::factorize(const fmt::BLR2Matrix& a) {
       const index_t oj = out.skel_offset_[static_cast<std::size_t>(j)];
       const index_t kj = a.node(j).rank;
       if (ki == 0 || kj == 0) continue;
-      const Matrix& s = a.coupling(i, j);
-      la::copy(s.view(), merged.block(oi, oj, ki, kj));
-      Matrix st = la::transpose(s.view());
+      la::F64Block sb(a.coupling(i, j));
+      la::copy(sb.view(), merged.block(oi, oj, ki, kj));
+      Matrix st = la::transpose(sb.view());
       la::copy(st.view(), merged.block(oj, oi, kj, ki));
     }
   }
@@ -70,7 +71,8 @@ std::vector<double> BLR2ULV::solve(const std::vector<double>& b) const {
   for (index_t i = 0; i < p; ++i) {
     const auto& nd = a.node(i);
     fwd[static_cast<std::size_t>(i)] = forward_step(
-        factors_[static_cast<std::size_t>(i)], nd.basis.view(), b.data() + nd.begin);
+        factors_[static_cast<std::size_t>(i)], la::F64Block(nd.basis).view(),
+        b.data() + nd.begin);
     const auto& zs = fwd[static_cast<std::size_t>(i)].z_s;
     std::copy(zs.begin(), zs.end(),
               z.begin() + skel_offset_[static_cast<std::size_t>(i)]);
@@ -89,9 +91,9 @@ std::vector<double> BLR2ULV::solve(const std::vector<double>& b) const {
     std::vector<double> xs(
         z.begin() + skel_offset_[static_cast<std::size_t>(i)],
         z.begin() + skel_offset_[static_cast<std::size_t>(i) + 1]);
-    std::vector<double> xl =
-        backward_step(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
-                      fwd[static_cast<std::size_t>(i)], xs);
+    std::vector<double> xl = backward_step(
+        factors_[static_cast<std::size_t>(i)], la::F64Block(nd.basis).view(),
+        fwd[static_cast<std::size_t>(i)], xs);
     for (index_t r = 0; r < nd.block_size(); ++r)
       x[static_cast<std::size_t>(nd.begin + r)] = xl[static_cast<std::size_t>(r)];
   }
@@ -111,9 +113,9 @@ Matrix BLR2ULV::solve(const Matrix& b) const {
   Matrix z(total, nrhs);
   for (index_t i = 0; i < p; ++i) {
     const auto& nd = a.node(i);
-    fwd[static_cast<std::size_t>(i)] =
-        forward_step_panel(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
-                           b.block(nd.begin, 0, nd.block_size(), nrhs));
+    fwd[static_cast<std::size_t>(i)] = forward_step_panel(
+        factors_[static_cast<std::size_t>(i)], la::F64Block(nd.basis).view(),
+        b.block(nd.begin, 0, nd.block_size(), nrhs));
     const Matrix& zs = fwd[static_cast<std::size_t>(i)].z_s;
     if (zs.rows() > 0)
       la::copy(zs.view(),
@@ -129,7 +131,8 @@ Matrix BLR2ULV::solve(const Matrix& b) const {
     const auto& nd = a.node(i);
     const index_t oi = skel_offset_[static_cast<std::size_t>(i)];
     const index_t ki = a.node(i).rank;
-    backward_step_panel(factors_[static_cast<std::size_t>(i)], nd.basis.view(),
+    backward_step_panel(factors_[static_cast<std::size_t>(i)],
+                        la::F64Block(nd.basis).view(),
                         fwd[static_cast<std::size_t>(i)], z.block(oi, 0, ki, nrhs),
                         x.block(nd.begin, 0, nd.block_size(), nrhs));
   }

@@ -47,7 +47,7 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
         with_work ? std::function<void()>([stp, ii] {
           const auto& nd2 = stp->a->node(ii);
           stp->rotated[static_cast<std::size_t>(ii)] =
-              diag_product(nd2.diag.view(), nd2.basis.view());
+              diag_product(nd2.diag.view(), la::F64Block(nd2.basis).view());
         })
                   : std::function<void()>(),
         {{diag_d[static_cast<std::size_t>(i)], rt::Access::Read},
@@ -92,9 +92,9 @@ BLR2ULVDag emit_blr2_ulv_dag(const fmt::BLR2Matrix& a, rt::TaskGraph& graph,
           for (index_t j = 0; j < i; ++j) {
             const index_t kj = a2.node(j).rank;
             if (ki > 0 && kj > 0) {
-              const Matrix& s = a2.coupling(i, j);
-              la::copy(s.view(), merged.block(oi, oj, ki, kj));
-              Matrix t = la::transpose(s.view());
+              la::F64Block sb(a2.coupling(i, j));
+              la::copy(sb.view(), merged.block(oi, oj, ki, kj));
+              Matrix t = la::transpose(sb.view());
               la::copy(t.view(), merged.block(oj, oi, kj, ki));
             }
             oj += kj;

@@ -104,7 +104,7 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
             auto& lvl_rhs = stp->rhs[static_cast<std::size_t>(li)];
             stp->fwd[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
                 forward_step_panel(stp->factor->factor(li, ii),
-                                   stp->a->node(li, ii).basis.view(),
+                                   la::F64Block(stp->a->node(li, ii).basis).view(),
                                    lvl_rhs[static_cast<std::size_t>(ii)].view());
           },
           {{rhs_d[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
@@ -178,12 +178,15 @@ HSSSolveDag emit_hss_solve_dag(const HSSULV& factor, la::ConstMatrixView b,
             if (li == stp->a->max_level()) {
               // Leaves write their row block of the global solution.
               const auto& nd = stp->a->node(li, ii);
-              backward_step_panel(fac, stp->a->node(li, ii).basis.view(), fw, xs,
+              backward_step_panel(fac,
+                                  la::F64Block(stp->a->node(li, ii).basis).view(),
+                                  fw, xs,
                                   stp->x.block(nd.begin, 0, nd.block_size(), w));
             } else {
               Matrix xl(fac.m, w);
-              backward_step_panel(fac, stp->a->node(li, ii).basis.view(), fw, xs,
-                                  xl.view());
+              backward_step_panel(fac,
+                                  la::F64Block(stp->a->node(li, ii).basis).view(),
+                                  fw, xs, xl.view());
               stp->sol[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)] =
                   std::move(xl);
             }

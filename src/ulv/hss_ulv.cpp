@@ -14,16 +14,19 @@ namespace {
 /// Assemble a parent's dense diagonal from its children's skeleton Schur
 /// complements and the sibling coupling (the Merge step, line 4 of Alg. 2):
 ///   D_p = [ SS_0  Sᵀ ; S  SS_1 ]  with S = coupling between (2t+1, 2t).
-Matrix merge_diag(const Matrix& ss0, const Matrix& ss1, const Matrix& s_lower) {
+/// The coupling arrives as an FP64 view (callers promote demoted storage
+/// through la::F64Block).
+Matrix merge_diag(const Matrix& ss0, const Matrix& ss1,
+                  la::ConstMatrixView s_lower) {
   const index_t k0 = ss0.rows(), k1 = ss1.rows();
-  HATRIX_CHECK(s_lower.rows() == k1 && s_lower.cols() == k0,
+  HATRIX_CHECK(s_lower.rows == k1 && s_lower.cols == k0,
                "merge: coupling shape mismatch");
   Matrix d(k0 + k1, k0 + k1);
   if (k0 > 0) la::copy(ss0.view(), d.block(0, 0, k0, k0));
   if (k1 > 0) la::copy(ss1.view(), d.block(k0, k0, k1, k1));
   if (k0 > 0 && k1 > 0) {
-    la::copy(s_lower.view(), d.block(k0, 0, k1, k0));
-    Matrix st = la::transpose(s_lower.view());
+    la::copy(s_lower, d.block(k0, 0, k1, k0));
+    Matrix st = la::transpose(s_lower);
     la::copy(st.view(), d.block(0, k0, k0, k1));
   }
   return d;
@@ -56,9 +59,10 @@ HSSULV HSSULV::factorize(const fmt::HSSMatrix& a) {
     std::vector<Matrix> schur(static_cast<std::size_t>(a.num_nodes(l)));
 
     // Diagonal product + partial factorization: independent per node.
+    // F64Block promotes FP32-demoted bases/couplings for the kernels.
     for (index_t i = 0; i < a.num_nodes(l); ++i) {
       auto res = partial_factor(diags[static_cast<std::size_t>(i)].view(),
-                                a.node(l, i).basis.view());
+                                la::F64Block(a.node(l, i).basis).view());
       level_factors[static_cast<std::size_t>(i)] = std::move(res.factor);
       schur[static_cast<std::size_t>(i)] = std::move(res.ss_schur);
     }
@@ -68,7 +72,8 @@ HSSULV HSSULV::factorize(const fmt::HSSMatrix& a) {
     for (index_t t = 0; t < a.num_pairs(l); ++t) {
       parent_diags[static_cast<std::size_t>(t)] =
           merge_diag(schur[static_cast<std::size_t>(2 * t)],
-                     schur[static_cast<std::size_t>(2 * t + 1)], a.coupling(l, t));
+                     schur[static_cast<std::size_t>(2 * t + 1)],
+                     la::F64Block(a.coupling(l, t)).view());
     }
     diags = std::move(parent_diags);
   }
@@ -106,7 +111,7 @@ std::vector<double> HSSULV::solve(const std::vector<double>& b) const {
     for (index_t i = 0; i < a.num_nodes(l); ++i) {
       level_fwd[static_cast<std::size_t>(i)] =
           forward_step(factors_[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-                       a.node(l, i).basis.view(),
+                       la::F64Block(a.node(l, i).basis).view(),
                        carried[static_cast<std::size_t>(i)].data());
     }
     std::vector<std::vector<double>> parent(static_cast<std::size_t>(a.num_nodes(l - 1)));
@@ -141,10 +146,10 @@ std::vector<double> HSSULV::solve(const std::vector<double>& b) const {
       std::vector<double> xs0(parent_x.begin(), parent_x.begin() + f0.k);
       std::vector<double> xs1(parent_x.begin() + f0.k, parent_x.end());
       next[static_cast<std::size_t>(2 * t)] = backward_step(
-          f0, a.node(l, 2 * t).basis.view(),
+          f0, la::F64Block(a.node(l, 2 * t).basis).view(),
           fwd[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)], xs0);
       next[static_cast<std::size_t>(2 * t + 1)] = backward_step(
-          f1, a.node(l, 2 * t + 1).basis.view(),
+          f1, la::F64Block(a.node(l, 2 * t + 1).basis).view(),
           fwd[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t + 1)], xs1);
     }
     down = std::move(next);
@@ -189,7 +194,8 @@ Matrix HSSULV::solve(const Matrix& b) const {
     for (index_t i = 0; i < a.num_nodes(l); ++i) {
       level_fwd[static_cast<std::size_t>(i)] = forward_step_panel(
           factors_[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-          a.node(l, i).basis.view(), carried[static_cast<std::size_t>(i)].view());
+          la::F64Block(a.node(l, i).basis).view(),
+          carried[static_cast<std::size_t>(i)].view());
     }
     std::vector<Matrix> parent(static_cast<std::size_t>(a.num_nodes(l - 1)));
     for (index_t t = 0; t < a.num_pairs(l); ++t) {
@@ -229,11 +235,12 @@ Matrix HSSULV::solve(const Matrix& b) const {
         if (l == L) {
           // Leaves write their row block of the global solution directly.
           const auto& nd = a.node(l, i);
-          backward_step_panel(f, a.node(l, i).basis.view(), fw, xs,
+          backward_step_panel(f, la::F64Block(a.node(l, i).basis).view(), fw, xs,
                               x.block(nd.begin, 0, nd.block_size(), nrhs));
         } else {
           Matrix xl(f.m, nrhs);
-          backward_step_panel(f, a.node(l, i).basis.view(), fw, xs, xl.view());
+          backward_step_panel(f, la::F64Block(a.node(l, i).basis).view(), fw, xs,
+                              xl.view());
           next[static_cast<std::size_t>(i)] = std::move(xl);
         }
       }
@@ -255,17 +262,38 @@ Matrix HSSULV::solve_columnwise(const Matrix& b) const {
   return x;
 }
 
-std::vector<double> HSSULV::solve_refined(const std::vector<double>& b,
-                                          int iterations) const {
+std::vector<double> HSSULV::solve_refined(
+    const std::vector<double>& b, int iterations,
+    std::vector<double>* residual_history) const {
+  if (residual_history != nullptr) residual_history->clear();
+  double bnorm = 0.0;
+  if (residual_history != nullptr) {
+    for (double v : b) bnorm += v * v;
+    bnorm = std::sqrt(bnorm);
+    if (bnorm == 0.0) bnorm = 1.0;
+  }
   std::vector<double> x = solve(b);
   std::vector<double> ax;
-  for (int it = 0; it < iterations; ++it) {
+  auto residual = [&](std::vector<double>& r) {
     a_->matvec(x, ax);
-    std::vector<double> r(b.size());
-    for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
+    r.resize(b.size());
+    double rn = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      r[i] = b[i] - ax[i];
+      rn += r[i] * r[i];
+    }
+    if (residual_history != nullptr)
+      residual_history->push_back(std::sqrt(rn) / bnorm);
+  };
+  std::vector<double> r;
+  for (int it = 0; it < iterations; ++it) {
+    residual(r);
     std::vector<double> dx = solve(r);
     for (std::size_t i = 0; i < b.size(); ++i) x[i] += dx[i];
   }
+  // One extra matvec to log the converged residual (skipped when nobody is
+  // listening — the hot path pays nothing).
+  if (residual_history != nullptr) residual(r);
   return x;
 }
 

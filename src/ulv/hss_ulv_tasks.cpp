@@ -11,14 +11,17 @@ namespace hatrix::ulv {
 
 namespace {
 
-Matrix merge_diag(const Matrix& ss0, const Matrix& ss1, const Matrix& s_lower) {
+// The coupling arrives as an FP64 view: callers promote FP32-demoted
+// storage through la::F64Block (mixed-precision mode).
+Matrix merge_diag(const Matrix& ss0, const Matrix& ss1,
+                  la::ConstMatrixView s_lower) {
   const index_t k0 = ss0.rows(), k1 = ss1.rows();
   Matrix d(k0 + k1, k0 + k1);
   if (k0 > 0) la::copy(ss0.view(), d.block(0, 0, k0, k0));
   if (k1 > 0) la::copy(ss1.view(), d.block(k0, k0, k1, k1));
   if (k0 > 0 && k1 > 0) {
-    la::copy(s_lower.view(), d.block(k0, 0, k1, k0));
-    Matrix st = la::transpose(s_lower.view());
+    la::copy(s_lower, d.block(k0, 0, k1, k0));
+    Matrix st = la::transpose(s_lower);
     la::copy(st.view(), d.block(0, k0, k0, k1));
   }
   return d;
@@ -183,7 +186,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
             slot = diag_product(
                 stp->diags[static_cast<std::size_t>(li)][static_cast<std::size_t>(ii)]
                     .view(),
-                nd2.basis.view());
+                la::F64Block(nd2.basis).view());
           })
                     : std::function<void()>(),
           {{dag.diag_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
@@ -233,7 +236,7 @@ HSSULVDag emit_hss_ulv_dag(const fmt::HSSMatrix& a, rt::TaskGraph& graph,
             stp->diags[static_cast<std::size_t>(li) - 1][static_cast<std::size_t>(tt)] =
                 merge_diag(lvl[static_cast<std::size_t>(2 * tt)],
                            lvl[static_cast<std::size_t>(2 * tt + 1)],
-                           stp->a->coupling(li, tt));
+                           la::F64Block(stp->a->coupling(li, tt)).view());
           })
                     : std::function<void()>(),
           {{dag.schur_data[static_cast<std::size_t>(l)][static_cast<std::size_t>(2 * t)],

@@ -20,6 +20,7 @@
 #include "geometry/cluster_tree.hpp"
 #include "kernels/kernel_matrix.hpp"
 #include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
 #include "runtime/fork_join_executor.hpp"
 #include "runtime/priority_executor.hpp"
 #include "runtime/thread_pool_executor.hpp"
@@ -105,16 +106,21 @@ struct ChainResult {
 /// Build + factor + solve, running all three DAGs through `runner`.
 /// `release` wires the emitters' early-release hooks (dag_dataflow last-use
 /// schedule): Free drops retired blocks, Poison NaN-fills them so any task
-/// reading past its proven last use corrupts the chain's bits.
+/// reading past its proven last use corrupts the chain's bits. `mixed`
+/// demotes the built matrix's low-rank blocks to FP32 storage before
+/// factorization — the same end-of-build demotion build_hss applies under
+/// HSSOptions::precision == MixedFP32.
 template <typename Runner>
 ChainResult run_chain(const ChainProblem& p, Runner&& runner,
-                      rt::ReleaseMode release = rt::ReleaseMode::None) {
+                      rt::ReleaseMode release = rt::ReleaseMode::None,
+                      bool mixed = false) {
   fmt::KernelAccessor acc(*p.km);
 
   rt::TaskGraph build_graph;
   auto build_dag = fmt::emit_hss_build_dag(acc, p.opts(), build_graph, release);
   runner(build_graph);
   ChainResult out{fmt::extract_built_hss(build_dag), {}, {}};
+  if (mixed) out.h.demote_lowrank();
 
   rt::TaskGraph ulv_graph;
   auto ulv_dag =
@@ -142,6 +148,17 @@ const ChainResult& serial_chain() {
   return ref;
 }
 
+/// Serial reference for the mixed-precision (FP32-demoted low-rank storage)
+/// chain. Distinct from serial_chain(): demotion rounds the low-rank blocks
+/// once, so the factorization and solution bits legitimately differ from the
+/// pure-FP64 chain — but they must still be schedule-independent.
+const ChainResult& serial_mixed_chain() {
+  static const ChainResult ref =
+      run_chain(chain_problem(), [](const rt::TaskGraph& g) { run_serial(g); },
+                rt::ReleaseMode::None, /*mixed=*/true);
+  return ref;
+}
+
 // ---------------------------------------------------------------------------
 
 class ExecutorConformance
@@ -166,15 +183,19 @@ void expect_chain_bit_identical(const ChainResult& got, const ChainResult& ref,
       ASSERT_EQ(got.root(i, j), ref.root(i, j))
           << what << ": root factor differs";
 
-  // Spot-check a built leaf basis, bitwise.
+  // Spot-check a built leaf basis, bitwise. F64Block handles both storage
+  // precisions (FP32→FP64 promotion is exact, so bit-comparing promoted
+  // copies is equivalent to comparing the stored bits).
   const int L = ref.h.max_level();
-  const auto& bref = ref.h.node(L, 0).basis;
-  const auto& bgot = got.h.node(L, 0).basis;
-  ASSERT_EQ(bgot.rows(), bref.rows()) << what;
-  ASSERT_EQ(bgot.cols(), bref.cols()) << what;
-  for (index_t i = 0; i < bref.rows(); ++i)
-    for (index_t j = 0; j < bref.cols(); ++j)
-      ASSERT_EQ(bgot(i, j), bref(i, j)) << what << ": leaf basis differs";
+  ASSERT_EQ(got.h.mixed(), ref.h.mixed()) << what;
+  la::F64Block bref(ref.h.node(L, 0).basis);
+  la::F64Block bgot(got.h.node(L, 0).basis);
+  const la::ConstMatrixView vref = bref.view(), vgot = bgot.view();
+  ASSERT_EQ(vgot.rows, vref.rows) << what;
+  ASSERT_EQ(vgot.cols, vref.cols) << what;
+  for (index_t i = 0; i < vref.rows; ++i)
+    for (index_t j = 0; j < vref.cols; ++j)
+      ASSERT_EQ(vgot(i, j), vref(i, j)) << what << ": leaf basis differs";
 }
 
 TEST_P(ExecutorConformance, ChainBitIdenticalToSerialInsertionOrder) {
@@ -201,6 +222,30 @@ TEST_P(ExecutorConformance, ChainBitIdenticalWithEarlyRelease) {
       rt::ReleaseMode::Free);
   expect_chain_bit_identical(got, ref,
                              std::string(exec_name(exec())) + "+release");
+}
+
+TEST_P(ExecutorConformance, MixedPrecisionChainBitIdenticalToSerial) {
+  // Mixed storage mode: the built matrix's low-rank blocks are demoted to
+  // FP32 after construction (one deterministic rounding pass), then the ULV
+  // factorization and solve read them back through F64Block promotion.
+  // Demotion happens after the build DAG completes, so the bit-identity
+  // contract must hold in this mode exactly as in FP64 — against a mixed
+  // serial reference.
+  const auto& p = chain_problem();
+  const auto& ref = serial_mixed_chain();
+  ASSERT_TRUE(ref.h.mixed());
+  ASSERT_LT(ref.h.lowrank_bytes(),
+            serial_chain().h.lowrank_bytes());  // really demoted
+  auto got = run_chain(
+      p,
+      [&](const rt::TaskGraph& g) {
+        auto stats = run_any(exec(), workers(), g);
+        ASSERT_EQ(rt::validate_trace(g, stats), "")
+            << exec_name(exec()) << " workers=" << workers();
+      },
+      rt::ReleaseMode::None, /*mixed=*/true);
+  expect_chain_bit_identical(got, ref,
+                             std::string(exec_name(exec())) + "+mixed");
 }
 
 TEST_P(ExecutorConformance, PoisonOnReleaseKeepsChainBitIdentical) {

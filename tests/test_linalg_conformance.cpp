@@ -1,0 +1,483 @@
+// Kernel-layer conformance suite: every non-reference backend (Blocked
+// always; Vendor when compiled in) is checked against the retained naive
+// reference kernels `la::ref::` across the full option space — all
+// Trans/Side/UpLo/Diag combinations, odd and power-of-two sizes, zero
+// dimensions, non-contiguous (strided) views, and both scalar precisions.
+// The backends reorder accumulation, so comparisons are tolerance-based
+// (scaled by the inner dimension and the scalar epsilon), not bitwise —
+// bit-identity is the *dispatch-default* contract tested elsewhere
+// (test_solve_blocked, test_executor_conformance), not a cross-backend one.
+//
+// Also exercises the backend dispatch point under concurrency (runs under
+// TSan via the `concurrency` label): set_backend() races against kernel
+// calls must stay data-race-free and every call must execute a complete,
+// correct kernel from one backend or the other.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hatrix {
+namespace {
+
+using la::Backend;
+using la::ConstMatrixView;
+using la::ConstMatrixViewF;
+using la::Diag;
+using la::index_t;
+using la::Matrix;
+using la::MatrixF;
+using la::MatrixView;
+using la::MatrixViewF;
+using la::Side;
+using la::Trans;
+using la::UpLo;
+
+/// RAII: select a backend for one scope, restore the previous on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Backend b) : prev_(la::backend()) { la::set_backend(b); }
+  ~BackendGuard() { la::set_backend(prev_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+/// The backends under test: everything except the reference oracle itself.
+std::vector<Backend> backends_under_test() {
+  std::vector<Backend> b{Backend::Blocked};
+  if (la::vendor_available()) b.push_back(Backend::Vendor);
+  return b;
+}
+
+Matrix random_matrix(index_t r, index_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (index_t j = 0; j < c; ++j)
+    for (index_t i = 0; i < r; ++i) m(i, j) = rng.normal();
+  return m;
+}
+
+MatrixF to_f32(const Matrix& m) {
+  MatrixF f(m.rows(), m.cols());
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i) f(i, j) = static_cast<float>(m(i, j));
+  return f;
+}
+
+/// Well-conditioned triangular factor: unit-scale off-diagonal entries with
+/// a dominant diagonal, so trsm solves stay far from overflow in float.
+Matrix random_triangular(index_t n, UpLo uplo, Rng& rng) {
+  Matrix t(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == UpLo::Lower ? i >= j : i <= j;
+      if (!in_tri) continue;
+      t(i, j) = i == j ? 4.0 + rng.uniform() : 0.25 * rng.normal();
+    }
+  return t;
+}
+
+/// Max |a - b| over the matrix.
+template <typename ViewA, typename ViewB>
+double max_diff(ViewA a, ViewB b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+  double d = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i)
+      d = std::max(d, std::abs(static_cast<double>(a(i, j)) -
+                               static_cast<double>(b(i, j))));
+  return d;
+}
+
+template <typename View>
+double max_abs(View a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i)
+      m = std::max(m, std::abs(static_cast<double>(a(i, j))));
+  return m;
+}
+
+/// Accumulation-order-aware tolerance: eps * inner-dimension * magnitude,
+/// with generous constant headroom (backends and the oracle may differ by
+/// many reassociations but never by more than O(k) rounding steps).
+double tolerance(index_t inner, double magnitude, double eps) {
+  return 64.0 * static_cast<double>(std::max<index_t>(inner, 1)) * eps *
+         (magnitude + 1.0);
+}
+
+constexpr double kEps64 = std::numeric_limits<double>::epsilon();
+constexpr double kEps32 = std::numeric_limits<float>::epsilon();
+
+std::string ctx(Backend b, const std::string& what) {
+  return std::string(la::backend_name(b)) + ": " + what;
+}
+
+// ---------------------------------------------------------------------------
+// gemm
+
+struct GemmShape {
+  index_t m, n, k;
+};
+
+const std::vector<GemmShape>& gemm_shapes() {
+  // Odd sizes straddle every micro-kernel edge case (partial MR/NR tiles,
+  // partial KC strips); zero dims must be clean no-ops; the tall-skinny
+  // shapes mirror the low-rank panel products that dominate the solver.
+  static const std::vector<GemmShape> shapes = {
+      {0, 5, 3},  {5, 0, 3},   {5, 3, 0},   {1, 1, 1},   {2, 3, 4},
+      {7, 5, 9},  {17, 13, 11}, {33, 33, 33}, {64, 64, 64}, {65, 63, 67},
+      {129, 40, 17}, {200, 8, 40}, {8, 200, 40}};
+  return shapes;
+}
+
+TEST(LinalgConformance, GemmDoubleAllTransCombos) {
+  Rng rng(31);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (const auto& s : gemm_shapes()) {
+      for (Trans ta : {Trans::No, Trans::Yes}) {
+        for (Trans tb : {Trans::No, Trans::Yes}) {
+          const Matrix a = ta == Trans::No ? random_matrix(s.m, s.k, rng)
+                                           : random_matrix(s.k, s.m, rng);
+          const Matrix b = tb == Trans::No ? random_matrix(s.k, s.n, rng)
+                                           : random_matrix(s.n, s.k, rng);
+          const Matrix c0 = random_matrix(s.m, s.n, rng);
+          for (auto [alpha, beta] : {std::pair{1.0, 0.0},
+                                     std::pair{-0.5, 2.0},
+                                     std::pair{0.0, 1.0}}) {
+            Matrix c_ref = c0.f64_copy();
+            la::ref::gemm(alpha, a.view(), ta, b.view(), tb, beta, c_ref.view());
+            Matrix c_got = c0.f64_copy();
+            la::gemm(alpha, a.view(), ta, b.view(), tb, beta, c_got.view());
+            const double tol =
+                tolerance(s.k, max_abs(c_ref.view()), kEps64);
+            EXPECT_LE(max_diff(c_got.view(), c_ref.view()), tol)
+                << ctx(be, "gemm d " + std::to_string(s.m) + "x" +
+                               std::to_string(s.n) + "x" + std::to_string(s.k))
+                << " ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes)
+                << " alpha=" << alpha << " beta=" << beta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinalgConformance, GemmFloatAllTransCombos) {
+  Rng rng(32);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (const auto& s : gemm_shapes()) {
+      for (Trans ta : {Trans::No, Trans::Yes}) {
+        for (Trans tb : {Trans::No, Trans::Yes}) {
+          const MatrixF a = to_f32(ta == Trans::No ? random_matrix(s.m, s.k, rng)
+                                                   : random_matrix(s.k, s.m, rng));
+          const MatrixF b = to_f32(tb == Trans::No ? random_matrix(s.k, s.n, rng)
+                                                   : random_matrix(s.n, s.k, rng));
+          const MatrixF c0 = to_f32(random_matrix(s.m, s.n, rng));
+          MatrixF c_ref(s.m, s.n), c_got(s.m, s.n);
+          for (index_t j = 0; j < s.n; ++j)
+            for (index_t i = 0; i < s.m; ++i) c_ref(i, j) = c_got(i, j) = c0(i, j);
+          la::ref::gemm(1.0F, a.view(), ta, b.view(), tb, 0.5F, c_ref.view());
+          la::gemm(1.0F, a.view(), ta, b.view(), tb, 0.5F, c_got.view());
+          const double tol = tolerance(s.k, max_abs(c_ref.view()), kEps32);
+          EXPECT_LE(max_diff(c_got.view(), c_ref.view()), tol)
+              << ctx(be, "gemm f " + std::to_string(s.m) + "x" +
+                             std::to_string(s.n) + "x" + std::to_string(s.k))
+              << " ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes);
+        }
+      }
+    }
+  }
+}
+
+TEST(LinalgConformance, GemmNonContiguousViews) {
+  // Operands and destination are interior blocks of larger matrices, so
+  // every view has ld > rows — the packing paths must honor the stride.
+  Rng rng(33);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    const index_t m = 37, n = 29, k = 41, pad = 11;
+    Matrix abuf = random_matrix(m + pad, k + pad, rng);
+    Matrix bbuf = random_matrix(k + pad, n + pad, rng);
+    Matrix cbuf = random_matrix(m + pad, n + pad, rng);
+    Matrix cref = cbuf.f64_copy();
+    const ConstMatrixView a = abuf.view().block(3, 5, m, k);
+    const ConstMatrixView b = bbuf.view().block(7, 2, k, n);
+    la::ref::gemm(1.5, a, Trans::No, b, Trans::No, -0.5,
+                  cref.view().block(4, 6, m, n));
+    la::gemm(1.5, a, Trans::No, b, Trans::No, -0.5,
+             cbuf.view().block(4, 6, m, n));
+    // The whole buffer must match: the kernel may not write outside its block.
+    EXPECT_LE(max_diff(cbuf.view(), cref.view()),
+              tolerance(k, max_abs(cref.view()), kEps64))
+        << ctx(be, "gemm strided");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// syrk
+
+TEST(LinalgConformance, SyrkBothTransBothPrecisions) {
+  Rng rng(34);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (index_t n : {0, 1, 2, 7, 33, 65, 129}) {
+      for (index_t k : {0, 1, 5, 40, 67}) {
+        for (Trans tr : {Trans::No, Trans::Yes}) {
+          const Matrix a = tr == Trans::No ? random_matrix(n, k, rng)
+                                           : random_matrix(k, n, rng);
+          const Matrix c0 = random_matrix(n, n, rng);
+          Matrix c_ref = c0.f64_copy(), c_got = c0.f64_copy();
+          la::ref::syrk(1.0, a.view(), tr, 0.5, c_ref.view());
+          la::syrk(1.0, a.view(), tr, 0.5, c_got.view());
+          EXPECT_LE(max_diff(c_got.view(), c_ref.view()),
+                    tolerance(k, max_abs(c_ref.view()), kEps64))
+              << ctx(be, "syrk d n=" + std::to_string(n) + " k=" + std::to_string(k))
+              << " trans=" << (tr == Trans::Yes);
+
+          const MatrixF af = to_f32(a);
+          const MatrixF cf0 = to_f32(c0);
+          MatrixF cf_ref(n, n), cf_got(n, n);
+          for (index_t j = 0; j < n; ++j)
+            for (index_t i = 0; i < n; ++i) cf_ref(i, j) = cf_got(i, j) = cf0(i, j);
+          la::ref::syrk(1.0F, af.view(), tr, 0.5F, cf_ref.view());
+          la::syrk(1.0F, af.view(), tr, 0.5F, cf_got.view());
+          EXPECT_LE(max_diff(cf_got.view(), cf_ref.view()),
+                    tolerance(k, max_abs(cf_ref.view()), kEps32))
+              << ctx(be, "syrk f n=" + std::to_string(n) + " k=" + std::to_string(k))
+              << " trans=" << (tr == Trans::Yes);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// trsm / trmm: all Side x UpLo x Trans x Diag combinations
+
+TEST(LinalgConformance, TrsmAllSixteenCombos) {
+  Rng rng(35);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (index_t n : {0, 1, 3, 17, 64, 65, 129}) {
+      for (index_t w : {0, 1, 5, 40}) {
+        for (Side side : {Side::Left, Side::Right}) {
+          for (UpLo uplo : {UpLo::Lower, UpLo::Upper}) {
+            const Matrix t = random_triangular(n, uplo, rng);
+            const index_t br = side == Side::Left ? n : w;
+            const index_t bc = side == Side::Left ? w : n;
+            const Matrix b0 = random_matrix(br, bc, rng);
+            for (Trans tr : {Trans::No, Trans::Yes}) {
+              for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+                Matrix b_ref = b0.f64_copy(), b_got = b0.f64_copy();
+                la::ref::trsm(side, uplo, tr, dg, 1.25, t.view(), b_ref.view());
+                la::trsm(side, uplo, tr, dg, 1.25, t.view(), b_got.view());
+                EXPECT_LE(max_diff(b_got.view(), b_ref.view()),
+                          tolerance(n, max_abs(b_ref.view()), kEps64))
+                    << ctx(be, "trsm n=" + std::to_string(n) + " w=" +
+                                   std::to_string(w))
+                    << " side=" << (side == Side::Right)
+                    << " uplo=" << (uplo == UpLo::Upper)
+                    << " trans=" << (tr == Trans::Yes)
+                    << " diag=" << (dg == Diag::Unit);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinalgConformance, TrsmFloatCombos) {
+  Rng rng(36);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (index_t n : {1, 17, 65}) {
+      for (Side side : {Side::Left, Side::Right}) {
+        for (UpLo uplo : {UpLo::Lower, UpLo::Upper}) {
+          const MatrixF t = to_f32(random_triangular(n, uplo, rng));
+          const index_t w = 9;
+          const MatrixF b0 = to_f32(random_matrix(side == Side::Left ? n : w,
+                                                  side == Side::Left ? w : n, rng));
+          for (Trans tr : {Trans::No, Trans::Yes}) {
+            for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+              MatrixF b_ref(b0.rows(), b0.cols()), b_got(b0.rows(), b0.cols());
+              for (index_t j = 0; j < b0.cols(); ++j)
+                for (index_t i = 0; i < b0.rows(); ++i)
+                  b_ref(i, j) = b_got(i, j) = b0(i, j);
+              la::ref::trsm(side, uplo, tr, dg, 1.0F, t.view(), b_ref.view());
+              la::trsm(side, uplo, tr, dg, 1.0F, t.view(), b_got.view());
+              EXPECT_LE(max_diff(b_got.view(), b_ref.view()),
+                        tolerance(n, max_abs(b_ref.view()), kEps32))
+                  << ctx(be, "trsm f n=" + std::to_string(n))
+                  << " side=" << (side == Side::Right)
+                  << " uplo=" << (uplo == UpLo::Upper)
+                  << " trans=" << (tr == Trans::Yes)
+                  << " diag=" << (dg == Diag::Unit);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinalgConformance, TrmmAllSixteenCombos) {
+  Rng rng(37);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (index_t n : {0, 1, 3, 17, 65}) {
+      for (Side side : {Side::Left, Side::Right}) {
+        for (UpLo uplo : {UpLo::Lower, UpLo::Upper}) {
+          const Matrix t = random_triangular(n, uplo, rng);
+          const index_t w = 7;
+          const Matrix b0 = random_matrix(side == Side::Left ? n : w,
+                                          side == Side::Left ? w : n, rng);
+          for (Trans tr : {Trans::No, Trans::Yes}) {
+            for (Diag dg : {Diag::NonUnit, Diag::Unit}) {
+              Matrix b_ref = b0.f64_copy(), b_got = b0.f64_copy();
+              la::ref::trmm(side, uplo, tr, dg, 0.75, t.view(), b_ref.view());
+              la::trmm(side, uplo, tr, dg, 0.75, t.view(), b_got.view());
+              EXPECT_LE(max_diff(b_got.view(), b_ref.view()),
+                        tolerance(n, max_abs(b_ref.view()), kEps64))
+                  << ctx(be, "trmm n=" + std::to_string(n))
+                  << " side=" << (side == Side::Right)
+                  << " uplo=" << (uplo == UpLo::Upper)
+                  << " trans=" << (tr == Trans::Yes)
+                  << " diag=" << (dg == Diag::Unit);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// potrf
+
+TEST(LinalgConformance, PotrfAgainstUnblockedReference) {
+  Rng rng(38);
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    for (index_t n : {1, 2, 7, 33, 64, 65, 129, 200}) {
+      // SPD by construction: B·Bᵀ + n·I keeps the condition number modest so
+      // the two factorizations agree to working accuracy.
+      const Matrix b = random_matrix(n, n, rng);
+      Matrix a(n, n);
+      la::ref::gemm(1.0, b.view(), Trans::No, b.view(), Trans::Yes, 0.0, a.view());
+      for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+
+      Matrix l_ref = a.f64_copy(), l_got = a.f64_copy();
+      la::ref::potrf(l_ref.view());
+      la::potrf(l_got.view());
+      EXPECT_LE(max_diff(l_got.view(), l_ref.view()),
+                tolerance(n, max_abs(l_ref.view()), kEps64))
+          << ctx(be, "potrf n=" + std::to_string(n));
+      // Strict upper triangle explicitly zeroed by both.
+      for (index_t j = 1; j < n; ++j)
+        for (index_t i = 0; i < j; ++i)
+          EXPECT_EQ(l_got(i, j), 0.0) << ctx(be, "potrf upper not zeroed");
+
+      MatrixF af = to_f32(a);
+      MatrixF lf_ref(n, n), lf_got(n, n);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < n; ++i) lf_ref(i, j) = lf_got(i, j) = af(i, j);
+      la::ref::potrf(lf_ref.view());
+      la::potrf(lf_got.view());
+      EXPECT_LE(max_diff(lf_got.view(), lf_ref.view()),
+                tolerance(n, max_abs(lf_ref.view()), kEps32))
+          << ctx(be, "potrf f n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(LinalgConformance, PotrfThrowsOnIndefinite) {
+  for (Backend be : backends_under_test()) {
+    BackendGuard guard(be);
+    Matrix a(3, 3);
+    a(0, 0) = 1.0;
+    a(1, 1) = -1.0;  // negative pivot
+    a(2, 2) = 1.0;
+    EXPECT_THROW(la::potrf(a.view()), Error) << ctx(be, "potrf indefinite");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch
+
+TEST(LinalgConformance, BackendNamesRoundTrip) {
+  EXPECT_EQ(la::backend_from_name("naive"), Backend::Naive);
+  EXPECT_EQ(la::backend_from_name("blocked"), Backend::Blocked);
+  EXPECT_EQ(la::backend_from_name("vendor"), Backend::Vendor);
+  EXPECT_THROW((void)la::backend_from_name("accelerated"), Error);
+  EXPECT_STREQ(la::backend_name(Backend::Naive), "naive");
+  EXPECT_STREQ(la::backend_name(Backend::Blocked), "blocked");
+  EXPECT_STREQ(la::backend_name(Backend::Vendor), "vendor");
+}
+
+TEST(LinalgConformance, VendorSelectionWithoutLibraryThrows) {
+  if (la::vendor_available()) GTEST_SKIP() << "vendor BLAS compiled in";
+  EXPECT_THROW(la::set_backend(Backend::Vendor), Error);
+}
+
+TEST(LinalgConformance, BackendDispatchIsThreadSafe) {
+  // The dispatch point is one atomic load per kernel call; flipping the
+  // backend from another thread mid-stream must never tear a kernel. Every
+  // result must be the (identical) bit pattern both deterministic backends
+  // produce for this k<=inner-kernel-width problem, or at least match the
+  // oracle to tolerance.
+  const Backend prev = la::backend();
+  Rng rng(39);
+  const index_t n = 48;
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c_ref(n, n);
+  la::ref::gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c_ref.view());
+  const double tol = tolerance(n, max_abs(c_ref.view()), kEps64);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      la::set_backend((i++ % 2) == 0 ? Backend::Naive : Backend::Blocked);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (int it = 0; it < 50; ++it) {
+        Matrix c(n, n);
+        la::gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c.view());
+        if (max_diff(c.view(), c_ref.view()) > tol)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true);
+  flipper.join();
+  la::set_backend(prev);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hatrix
